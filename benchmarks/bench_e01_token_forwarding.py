@@ -1,0 +1,76 @@
+"""E1 (Theorem 2.1): token forwarding needs ~ nkd/(bT) + n rounds, and is tight.
+
+Regenerates the baseline curve: completion rounds of the phase-based
+knowledge-based token-forwarding algorithm against the adaptive bottleneck
+adversary, swept over n (with k = n, d = log n-ish) and over b, compared to
+the predicted nkd/b + n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import TokenForwardingNode
+from repro.analysis import token_forwarding_rounds
+from repro.network import BottleneckAdversary
+from repro.simulation import fit_power_law
+
+from common import make_config, measure_rounds, print_rows, run_once
+
+
+def _sweep_n(sizes=(8, 16, 24, 32)):
+    rows = []
+    for n in sizes:
+        config = make_config(n, d=8, b=24)
+        m = measure_rounds(TokenForwardingNode, config, BottleneckAdversary, repetitions=2)
+        rows.append(
+            {
+                "n": n,
+                "rounds": round(m.rounds_mean, 1),
+                "predicted~": round(token_forwarding_rounds(n, n, 8, 24), 1),
+            }
+        )
+    return rows
+
+
+def _sweep_b(n=24, b_values=(16, 32, 64, 128)):
+    rows = []
+    for b in b_values:
+        config = make_config(n, d=8, b=b)
+        m = measure_rounds(TokenForwardingNode, config, BottleneckAdversary, repetitions=2)
+        rows.append(
+            {
+                "b": b,
+                "rounds": round(m.rounds_mean, 1),
+                "predicted~": round(token_forwarding_rounds(n, n, 8, b), 1),
+            }
+        )
+    return rows
+
+
+def test_e01_forwarding_scales_quadratically_in_n(benchmark):
+    rows = _sweep_n()
+    print_rows("E1a — token forwarding rounds vs n (k=n, d=8, b=24)", rows)
+    alpha, _ = fit_power_law([r["n"] for r in rows], [r["rounds"] for r in rows])
+    print(f"measured scaling exponent in n: {alpha:.2f} (theory: ~2 for the nk term)")
+    assert alpha > 1.5
+    benchmark.pedantic(
+        lambda: run_once(TokenForwardingNode, make_config(16, d=8, b=24), BottleneckAdversary),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e01_forwarding_scales_inversely_in_b(benchmark):
+    rows = _sweep_b()
+    print_rows("E1b — token forwarding rounds vs b (n=k=24, d=8)", rows)
+    # Rounds should fall roughly linearly as b grows (until the +n floor).
+    assert rows[0]["rounds"] > rows[-1]["rounds"]
+    alpha, _ = fit_power_law([r["b"] for r in rows], [r["rounds"] for r in rows])
+    print(f"measured scaling exponent in b: {alpha:.2f} (theory: ~-1 until the +n floor)")
+    assert alpha < -0.3
+    benchmark.pedantic(
+        lambda: run_once(TokenForwardingNode, make_config(24, d=8, b=64), BottleneckAdversary),
+        rounds=1,
+        iterations=1,
+    )

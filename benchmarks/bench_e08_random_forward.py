@@ -1,0 +1,51 @@
+"""E8 (Lemma 7.2): random-forward gathers ~sqrt(bk/d) tokens at some node.
+
+Runs the random-forward primitive for n rounds and records the maximum
+token count over nodes, sweeping k, next to the lemma's sqrt(bk/d) bound.
+Also reports the waste fraction, the Section 5.2 effect that motivates
+coding in the first place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms import RandomForwardNode
+from repro.network import PathShuffleAdversary
+from repro.simulation import run_dissemination, standard_instance
+
+from common import make_config, print_rows
+
+
+def _max_gathered(n: int, k: int, b: int, seed: int = 0):
+    config = make_config(n, k=k, d=8, b=b)
+    placement = standard_instance(n, k, 8, seed=seed)
+    result = run_dissemination(
+        RandomForwardNode, config, placement, PathShuffleAdversary(seed=seed + 1),
+        max_rounds=n, stop_at_completion=False, seed=seed,
+    )
+    best = max(len(node.known_token_ids()) for node in result.nodes)
+    return best, result.metrics.waste_fraction
+
+
+def test_e08_gathering_bound(benchmark):
+    n = 32
+    b = 32
+    rows = []
+    for k in (8, 16, 32):
+        best, waste = _max_gathered(n, k, b)
+        bound = math.sqrt(b * k / 8)
+        rows.append(
+            {
+                "k": k,
+                "max_tokens_at_one_node": best,
+                "lemma_7_2_bound sqrt(bk/d)": round(bound, 1),
+                "waste_fraction": round(waste, 3),
+            }
+        )
+    print_rows(f"E8 — random-forward gathering after n={n} rounds (b={b}, d=8)", rows)
+    for row in rows:
+        assert row["max_tokens_at_one_node"] >= min(
+            row["k"], int(row["lemma_7_2_bound sqrt(bk/d)"])
+        )
+    benchmark.pedantic(lambda: _max_gathered(24, 24, 32, seed=5), rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""E10 (Corollary 2.6): centralized coded dissemination is Theta(n).
+
+Sweeps n for the centralized protocol (free coefficient headers, trivial
+indexing) and checks linear scaling, contrasting with the Omega(n log k)
+lower bound for centralized token forwarding (Theorem 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import CentralizedCodedNode
+from repro.analysis import centralized_coded_rounds, centralized_token_forwarding_lower_bound
+from repro.network import BottleneckAdversary
+from repro.simulation import fit_power_law
+
+from common import make_config, measure_rounds, print_rows, run_once
+
+
+def test_e10_centralized_linear_time(benchmark):
+    rows = []
+    sizes = (8, 16, 32, 48)
+    measured = []
+    for n in sizes:
+        m = measure_rounds(
+            CentralizedCodedNode, make_config(n, d=8, b=16), BottleneckAdversary, repetitions=2
+        )
+        measured.append(m.rounds_mean)
+        rows.append(
+            {
+                "n=k": n,
+                "rounds": round(m.rounds_mean, 1),
+                "Theta(n)": centralized_coded_rounds(n),
+                "forwarding lower bound n*log k": round(
+                    centralized_token_forwarding_lower_bound(n, n), 1
+                ),
+            }
+        )
+    print_rows("E10 — centralized coded dissemination (b = 16 bits, header free)", rows)
+    alpha, _ = fit_power_law(sizes, measured)
+    print(f"measured scaling exponent: {alpha:.2f} (theory: ~1)")
+    assert alpha < 1.4
+    benchmark.pedantic(
+        lambda: run_once(CentralizedCodedNode, make_config(32, d=8, b=16), BottleneckAdversary),
+        rounds=1,
+        iterations=1,
+    )

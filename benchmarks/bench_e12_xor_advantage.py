@@ -1,0 +1,33 @@
+"""E12 (Section 5.2): the end-phase XOR advantage.
+
+Node A knows all k tokens, node B misses one unknown to A.  Deterministic
+forwarding needs k rounds, random forwarding ~k/2, a single XOR suffices.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compare_end_phase
+
+from common import print_rows
+
+
+def test_e12_end_phase_comparison(benchmark):
+    rows = []
+    for k in (8, 32, 128):
+        comparison = compare_end_phase(k=k, trials=300, seed=k)
+        rows.append(
+            {
+                "k": k,
+                "deterministic_forwarding": comparison.deterministic_forwarding,
+                "random_forwarding_expected": comparison.expected_random_forwarding,
+                "random_forwarding_measured": round(comparison.measured_random_forwarding, 1),
+                "network_coding (XOR)": comparison.coded,
+                "coding_advantage": round(comparison.coding_advantage, 1),
+            }
+        )
+    print_rows("E12 — Section 5.2 end-phase scenario", rows)
+    assert all(r["network_coding (XOR)"] == 1 for r in rows)
+    assert all(
+        abs(r["random_forwarding_measured"] - (r["k"] + 1) / 2) < 0.25 * r["k"] for r in rows
+    )
+    benchmark.pedantic(lambda: compare_end_phase(k=64, trials=100, seed=0), rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one "table/figure" of the paper — here, one
+theorem/lemma/claim (see DESIGN.md section 4 and EXPERIMENTS.md).  Each
+bench:
+
+1. runs a small parameter sweep with the simulator,
+2. prints the measured rows next to the paper's predicted leading-order
+   expression (shape comparison, not absolute constants), and
+3. wraps one representative execution in the pytest-benchmark fixture so
+   ``pytest benchmarks/ --benchmark-only`` also reports wall-clock costs.
+
+Scales are laptop-sized on purpose: the claims being validated are about
+*who wins and how the advantage scales*, which already shows at n of a few
+dozen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.base import ProtocolConfig, ProtocolFactory
+from repro.network import Adversary
+from repro.simulation import measure, run_dissemination, standard_instance
+from repro.tokens import MessageBudget
+
+__all__ = ["make_config", "run_once", "measure_rounds", "print_rows"]
+
+
+def make_config(
+    n: int,
+    k: int | None = None,
+    d: int = 8,
+    b: int | None = None,
+    stability: int = 1,
+    extra: dict | None = None,
+) -> ProtocolConfig:
+    """Terse configuration builder mirroring the tests' helper."""
+    if k is None:
+        k = n
+    if b is None:
+        b = max(d, n + 16)
+    return ProtocolConfig(
+        n=n,
+        k=k,
+        token_bits=d,
+        budget=MessageBudget(b=b),
+        stability=stability,
+        extra=extra or {},
+    )
+
+
+def run_once(
+    factory: ProtocolFactory,
+    config: ProtocolConfig,
+    adversary_factory: Callable[[], Adversary],
+    seed: int = 0,
+    k: int | None = None,
+):
+    """One dissemination run on the canonical instance; returns the RunResult."""
+    placement = standard_instance(config.n, k if k is not None else config.k, config.token_bits, seed=seed)
+    return run_dissemination(factory, config, placement, adversary_factory(), seed=seed)
+
+
+def measure_rounds(
+    factory: ProtocolFactory,
+    config: ProtocolConfig,
+    adversary_factory: Callable[[], Adversary],
+    repetitions: int = 2,
+    seed: int = 0,
+    k: int | None = None,
+):
+    """Mean completion rounds over a couple of seeded repetitions."""
+    placement = standard_instance(config.n, k if k is not None else config.k, config.token_bits, seed=seed)
+    return measure(
+        factory, config, placement, adversary_factory, repetitions=repetitions, base_seed=seed + 1
+    )
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Print a result table (captured by pytest -s / the bench log)."""
+    from repro.simulation import format_table
+
+    print()
+    print(format_table(rows, title=title))

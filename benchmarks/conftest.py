@@ -1,0 +1,14 @@
+"""Benchmark suite configuration.
+
+Makes the sibling ``common`` helper importable regardless of how pytest sets
+up ``sys.path`` for the (non-package) benchmarks directory.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))

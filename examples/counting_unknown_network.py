@@ -1,0 +1,52 @@
+"""Scenario: counting the nodes of a network of unknown size.
+
+Counting is the canonical application of k-token dissemination in the paper
+(each node's "token" is its own identifier; once everyone knows every
+identifier, everyone knows n).  The size is not known in advance, so the
+protocol guesses n_hat = 2, runs dissemination sized for the guess, detects
+failure, doubles, and repeats (Section 4.1 remark).  The geometric sum of
+the failed attempts costs only a constant factor.
+
+Run with:  python examples/counting_unknown_network.py
+"""
+
+from __future__ import annotations
+
+from repro import IndexedBroadcastNode, RandomConnectedAdversary, TokenForwardingNode
+from repro.algorithms import count_nodes_via_doubling
+from repro.simulation import format_table
+
+
+def main() -> None:
+    rows = []
+    for name, factory in [
+        ("token forwarding", TokenForwardingNode),
+        ("network coding", IndexedBroadcastNode),
+    ]:
+        for n_true in (11, 23):
+            outcome = count_nodes_via_doubling(
+                factory,
+                n_true=n_true,
+                token_bits=8,
+                b=96,
+                adversary_factory=lambda: RandomConnectedAdversary(seed=n_true),
+            )
+            rows.append(
+                {
+                    "protocol": name,
+                    "true n": n_true,
+                    "exact count found": outcome.exact_count,
+                    "estimate n_hat": outcome.estimate,
+                    "doubling attempts": outcome.attempts,
+                    "total rounds": outcome.total_rounds,
+                    "rounds of final run": outcome.final_rounds,
+                    "overhead factor": round(outcome.overhead_factor, 2),
+                }
+            )
+    print(format_table(rows, title="Counting an unknown dynamic network by repeated doubling"))
+    print("\nEvery run recovers the exact count; the failed small guesses add only a")
+    print("bounded overhead over the final successful run (the paper's geometric-sum argument).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Scenario: sensor gossip in a mobile ad-hoc network with limited radio frames.
+
+The paper's motivation: modern networks (vehicular/ad-hoc/p2p) change too
+fast to converge, yet nodes must aggregate global information.  Here 40
+sensors each hold one 16-bit reading; the radio topology is re-shuffled
+every round (a sparse random connected graph); one radio frame carries b
+bits.  We sweep the frame size and show how the greedy-forward network
+coding algorithm turns bigger frames into a *quadratic* round saving while
+plain forwarding only gains linearly (Theorems 2.1 vs 2.3).
+
+Run with:  python examples/mobile_adhoc_gossip.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    GreedyForwardNode,
+    MessageBudget,
+    ProtocolConfig,
+    RandomConnectedAdversary,
+    TokenForwardingNode,
+    one_token_per_node,
+    run_dissemination,
+)
+from repro.analysis import greedy_forward_rounds, token_forwarding_rounds
+from repro.simulation import format_table
+
+
+def main() -> None:
+    n = 40
+    d = 16
+    placement = one_token_per_node(n, d, np.random.default_rng(7))
+
+    rows = []
+    for b in (64, 128, 256):
+        config = ProtocolConfig(n=n, k=n, token_bits=d, budget=MessageBudget(b=b))
+        coded = run_dissemination(
+            GreedyForwardNode, config, placement, RandomConnectedAdversary(seed=3), seed=1
+        )
+        forwarding = run_dissemination(
+            TokenForwardingNode, config, placement, RandomConnectedAdversary(seed=3), seed=1
+        )
+        rows.append(
+            {
+                "frame bits b": b,
+                "coded rounds": coded.rounds,
+                "forwarding rounds": forwarding.rounds,
+                "speedup": round(forwarding.rounds / coded.rounds, 2),
+                "theory coded~": round(greedy_forward_rounds(n, n, d, b)),
+                "theory fwd~": round(token_forwarding_rounds(n, n, d, b)),
+            }
+        )
+    print(format_table(rows, title="Sensor gossip, 40 nodes, 16-bit readings, dynamic radio topology"))
+    print("\nBigger radio frames help coding quadratically but forwarding only linearly —")
+    print("the effect Section 2.1 of the paper calls out as counter-intuitive.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Scenario: exploiting temporary stability (T-stable networks, Section 8).
+
+A datacenter overlay reconfigures every T rounds rather than every round.
+This example runs the patch-sharing coded protocol of Section 8 under
+several stability levels, shows the patch decomposition it builds (leaders,
+sizes, diameters), and compares against pipelined token forwarding.
+
+Run with:  python examples/stable_network_patches.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MessageBudget,
+    PipelinedTokenForwardingNode,
+    ProtocolConfig,
+    RandomConnectedAdversary,
+    TStableAdversary,
+    one_token_per_node,
+    run_dissemination,
+)
+from repro.algorithms import make_tstable_factory
+from repro.network import compute_patches, random_connected_graph
+from repro.simulation import format_table
+
+
+def main() -> None:
+    n = 28
+    d = 8
+
+    # First, show what a patch decomposition looks like on one stable topology.
+    graph = random_connected_graph(n, np.random.default_rng(1), extra_edge_prob=0.03)
+    decomposition = compute_patches(graph, radius=3, rng=np.random.default_rng(2))
+    print(f"Patch decomposition of one stable topology (n={n}, D=3):")
+    for patch in decomposition.patches:
+        print(
+            f"  leader {patch.leader:2d}: {patch.size:2d} members, tree height {patch.height}"
+        )
+    print()
+
+    rows = []
+    placement = one_token_per_node(n, d, np.random.default_rng(3))
+    for stability in (2, 8, 16):
+        config = ProtocolConfig(
+            n=n, k=n, token_bits=d, budget=MessageBudget(b=n + 32), stability=stability
+        )
+        coded = run_dissemination(
+            make_tstable_factory(config, seed=5),
+            config,
+            placement,
+            TStableAdversary(RandomConnectedAdversary(seed=7), stability),
+            seed=5,
+        )
+        forwarding_config = ProtocolConfig(
+            n=n, k=n, token_bits=d, budget=MessageBudget(b=24), stability=stability
+        )
+        forwarding = run_dissemination(
+            PipelinedTokenForwardingNode,
+            forwarding_config,
+            placement,
+            TStableAdversary(RandomConnectedAdversary(seed=7), stability),
+            seed=5,
+        )
+        rows.append(
+            {
+                "T": stability,
+                "patch coding rounds": coded.rounds,
+                "topology changes used": -(-coded.rounds // stability),
+                "pipelined forwarding rounds": forwarding.rounds,
+            }
+        )
+    print(format_table(rows, title="Share-pass-share coding vs forwarding under T-stability"))
+    print("\nThe coded protocol pays a bounded number of meta-rounds per topology change;")
+    print("Section 8.3's super-block packing (analysed in repro.analysis.bounds) turns that")
+    print("into the paper's full T^2 speedup at scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The environment this reproduction targets may lack the ``wheel`` package
+(needed for PEP 660 editable installs with older setuptools); keeping a
+``setup.py`` allows the legacy editable path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,188 @@
+"""The protocol interface all dissemination algorithms implement.
+
+A protocol is a per-node state machine driven by the simulator in
+synchronous rounds (Section 4.1):
+
+1. the node *composes* a message for the round knowing only its own state
+   (never its neighbours — broadcast is anonymous);
+2. the adversary fixes the round topology;
+3. the node *delivers* the set of messages broadcast by its neighbours.
+
+Everything a node may legitimately know is provided through
+:class:`ProtocolConfig` (the problem parameters ``n``, ``k``, ``d``, ``b``,
+``T`` — all assumed known in the paper) plus its own initial tokens.
+
+Protocols signal what they have learned through :meth:`ProtocolNode.known_token_ids`
+and :meth:`ProtocolNode.decoded_tokens`; the simulator uses these for
+completion detection and correctness checking, and exposes a sanitised
+:class:`~repro.network.adversary.NodeStateView` of them to adaptive
+adversaries.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..network.adversary import NodeStateView
+from ..tokens.message import Message, MessageBudget, uid_bits
+from ..tokens.token import Token, TokenId
+
+__all__ = [
+    "ProtocolConfig",
+    "ProtocolNode",
+    "ProtocolFactory",
+    "log2_ceil",
+]
+
+
+def log2_ceil(n: int) -> int:
+    """``ceil(log2(n))`` clamped below at 1; the ubiquitous ``log n`` of the paper."""
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Shared problem parameters every node knows.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes (the paper assumes ``n`` is known up to a factor 2).
+    k:
+        Number of tokens to disseminate.
+    token_bits:
+        Token size ``d`` in bits.
+    budget:
+        The per-round message budget (``b`` and its constant slack).
+    stability:
+        The network's stability parameter ``T`` (1 = fully dynamic).
+    field_order:
+        Field size ``q`` used by coding protocols.
+    extra:
+        Free-form per-protocol tuning knobs (phase-length constants etc.).
+    """
+
+    n: int
+    k: int
+    token_bits: int
+    budget: MessageBudget
+    stability: int = 1
+    field_order: int = 2
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        if self.token_bits < 1:
+            raise ValueError(f"token size d must be >= 1, got {self.token_bits}")
+        if self.token_bits > self.budget.b:
+            raise ValueError(
+                f"the model requires d <= b, got d={self.token_bits} > b={self.budget.b}"
+            )
+        if self.stability < 1:
+            raise ValueError(f"stability T must be >= 1, got {self.stability}")
+        self.budget.validate_parameters(self.n)
+
+    @property
+    def b(self) -> int:
+        """The nominal message size in bits."""
+        return self.budget.b
+
+    @property
+    def d(self) -> int:
+        """The token size in bits."""
+        return self.token_bits
+
+    @property
+    def log_n(self) -> int:
+        """``ceil(log2 n)``, the id/identifier size scale."""
+        return log2_ceil(self.n)
+
+    @property
+    def id_bits(self) -> int:
+        """Bits of a node UID."""
+        return uid_bits(self.n)
+
+    def extra_int(self, key: str, default: int) -> int:
+        """Read an integer tuning knob from ``extra``."""
+        value = self.extra.get(key, default)
+        return int(value)  # type: ignore[arg-type]
+
+
+class ProtocolNode(abc.ABC):
+    """Per-node protocol state machine."""
+
+    def __init__(self, uid: int, config: ProtocolConfig, rng: np.random.Generator):
+        self.uid = uid
+        self.config = config
+        self.rng = rng
+        #: Tokens (id -> Token) this node can currently output.
+        self.known: dict[TokenId, Token] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, initial_tokens: Sequence[Token]) -> None:
+        """Install the node's initial tokens (called once before round 0)."""
+        for token in initial_tokens:
+            self.known[token.token_id] = token
+
+    @abc.abstractmethod
+    def compose(self, round_index: int) -> Message | None:
+        """Choose the message to broadcast this round (None = stay silent).
+
+        The node does not know who its neighbours will be; the message may
+        depend only on the node's own state and shared problem parameters.
+        """
+
+    @abc.abstractmethod
+    def deliver(self, round_index: int, messages: Sequence[Message]) -> None:
+        """Receive all messages broadcast by this round's neighbours."""
+
+    # ------------------------------------------------------------------
+    # knowledge inspection (used for completion detection / adversaries)
+    # ------------------------------------------------------------------
+    def known_token_ids(self) -> frozenset:
+        """Identifiers of tokens this node can currently reconstruct."""
+        return frozenset(self.known)
+
+    def decoded_tokens(self) -> dict[TokenId, Token]:
+        """The tokens this node can output, keyed by identifier."""
+        return dict(self.known)
+
+    def coded_rank(self) -> int:
+        """Dimension of any coded subspace held (0 for non-coding protocols)."""
+        return 0
+
+    def finished(self) -> bool:
+        """True when the node has locally terminated (optional; default False)."""
+        return False
+
+    def state_view(self) -> NodeStateView:
+        """The sanitised view handed to adaptive adversaries."""
+        return NodeStateView(
+            uid=self.uid,
+            known_token_ids=self.known_token_ids(),
+            rank=self.coded_rank(),
+        )
+
+    # ------------------------------------------------------------------
+    # small shared helpers
+    # ------------------------------------------------------------------
+    def _learn_token(self, token: Token) -> bool:
+        """Record a token; return True if it was new to this node."""
+        if token.token_id in self.known:
+            return False
+        self.known[token.token_id] = token
+        return True
+
+
+#: A protocol factory builds one node instance given (uid, config, rng).
+ProtocolFactory = Callable[[int, ProtocolConfig, np.random.Generator], ProtocolNode]

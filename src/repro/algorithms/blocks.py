@@ -1,0 +1,109 @@
+"""Packing tokens into blocks ("meta-tokens") and back.
+
+Several algorithms (greedy-forward, priority-forward, the T-stable
+patch-sharing broadcast) gather tokens and group them into larger blocks so
+that fewer coding coefficients are needed per bit of payload (Section 7:
+"grouped together to a smaller number of larger meta-tokens").
+
+A block is encoded as a fixed-width bit string so it can be used directly as
+the payload of one coded dimension:
+
+``[count : 16 bits][token_0][token_1]...``
+
+where each token slot is ``2 * id_bits + d`` bits wide (origin UID, sequence
+number, payload).  Encoding the identifiers inside the block is what lets a
+decoder recover *which* tokens it received without any global pre-agreed
+index — the indexing problem the paper spends Section 7 solving is exactly
+the problem of agreeing which blocks occupy which coded dimension, and the
+block content carries the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..tokens.token import Token, TokenId
+from .base import ProtocolConfig
+
+__all__ = [
+    "token_slot_bits",
+    "block_bits",
+    "max_tokens_per_block",
+    "encode_block",
+    "decode_block",
+]
+
+_COUNT_BITS = 16
+
+
+def token_slot_bits(config: ProtocolConfig) -> int:
+    """Width of one token slot inside a block."""
+    return 2 * config.id_bits + config.token_bits
+
+
+def block_bits(config: ProtocolConfig, tokens_per_block: int) -> int:
+    """Total width of a block holding up to ``tokens_per_block`` tokens."""
+    if tokens_per_block < 1:
+        raise ValueError(f"a block must hold at least one token, got {tokens_per_block}")
+    return _COUNT_BITS + tokens_per_block * token_slot_bits(config)
+
+
+def max_tokens_per_block(config: ProtocolConfig, payload_budget_bits: int) -> int:
+    """Largest number of tokens whose block fits into ``payload_budget_bits``."""
+    slot = token_slot_bits(config)
+    available = payload_budget_bits - _COUNT_BITS
+    return max(1, available // slot) if available >= slot else 1
+
+
+def encode_block(config: ProtocolConfig, tokens: Sequence[Token], tokens_per_block: int) -> int:
+    """Pack up to ``tokens_per_block`` tokens into a block payload integer."""
+    if len(tokens) > tokens_per_block:
+        raise ValueError(
+            f"block capacity is {tokens_per_block} tokens, got {len(tokens)}"
+        )
+    if len(tokens) >= (1 << _COUNT_BITS):
+        raise ValueError("block count field overflow")
+    slot = token_slot_bits(config)
+    value = len(tokens)
+    offset = _COUNT_BITS
+    for token in tokens:
+        if token.size_bits != config.token_bits:
+            raise ValueError(
+                f"token size {token.size_bits} != configured d={config.token_bits}"
+            )
+        slot_value = (
+            (token.token_id.origin & ((1 << config.id_bits) - 1))
+            | ((token.token_id.sequence & ((1 << config.id_bits) - 1)) << config.id_bits)
+            | (token.payload << (2 * config.id_bits))
+        )
+        value |= slot_value << offset
+        offset += slot
+    return value
+
+
+def decode_block(config: ProtocolConfig, value: int, tokens_per_block: int) -> list[Token]:
+    """Unpack a block payload integer back into its tokens."""
+    slot = token_slot_bits(config)
+    count = value & ((1 << _COUNT_BITS) - 1)
+    if count > tokens_per_block:
+        raise ValueError(
+            f"decoded block claims {count} tokens but capacity is {tokens_per_block}"
+        )
+    tokens = []
+    offset = _COUNT_BITS
+    id_mask = (1 << config.id_bits) - 1
+    payload_mask = (1 << config.token_bits) - 1
+    for _ in range(count):
+        slot_value = (value >> offset) & ((1 << slot) - 1)
+        origin = slot_value & id_mask
+        sequence = (slot_value >> config.id_bits) & id_mask
+        payload = (slot_value >> (2 * config.id_bits)) & payload_mask
+        tokens.append(
+            Token(
+                token_id=TokenId(origin=origin, sequence=sequence),
+                payload=payload,
+                size_bits=config.token_bits,
+            )
+        )
+        offset += slot
+    return tokens

@@ -1,0 +1,116 @@
+"""Centralized network-coding algorithms (Corollary 2.6).
+
+A *centralized* algorithm (footnote 1 of the paper) is a distributed
+algorithm whose nodes are additionally given: knowledge of past topologies,
+the initial token distribution (but not the token contents), and shared
+randomness.  Under central control the two costs that dominate the
+distributed algorithms disappear:
+
+* **indexing is trivial** — the controller knows which node holds which
+  token, so distinct indices 1..k can be assigned up front; and
+* **the coefficient header is free** — every node can infer which random
+  combination every other node sent from the shared randomness and the known
+  past topologies, so only the ``d`` payload bits need to be transmitted.
+
+The resulting randomized algorithm is order-optimal ``Theta(n)`` for
+``k <= n`` (Corollary 2.6).  :class:`CentralizedCodedNode` implements it:
+operationally it is RLNC over the full augmented vectors, but the *message
+accounting* only charges the payload bits, reflecting the inferable header.
+
+The deterministic centralized variant replaces the shared randomness by the
+pre-committed schedule of Section 6 over the large field, with field-size
+constraints limiting how many blocks can be coded together; its round
+complexity is evaluated analytically in :mod:`repro.analysis.bounds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..coding.rlnc import Generation
+from ..tokens.message import CodedMessage, Message
+from ..tokens.token import Token
+from .base import ProtocolConfig, ProtocolNode
+from .blocks import block_bits, decode_block, encode_block
+
+__all__ = ["CentralizedCodedNode", "FreeHeaderCodedMessage"]
+
+
+@dataclass(frozen=True)
+class FreeHeaderCodedMessage(CodedMessage):
+    """A coded message whose coefficient header is charged zero bits.
+
+    Centralized algorithms can reconstruct the coefficients from shared
+    randomness and known topologies, so the header does not consume message
+    budget (Section 8.3: "the coefficient overhead can be ignored since it is
+    easy to infer the coefficients from knowing the past topologies").
+    The coefficients are still *carried* so the simulation does not have to
+    re-derive them — only their cost model changes.
+    """
+
+    @property
+    def header_bits(self) -> int:  # type: ignore[override]
+        return 0
+
+
+class CentralizedCodedNode(ProtocolNode):
+    """RLNC indexed broadcast with centrally-assigned indices and free headers."""
+
+    def __init__(self, uid: int, config: ProtocolConfig, rng: np.random.Generator):
+        super().__init__(uid, config, rng)
+        self.generation = Generation(
+            k=max(1, config.k),
+            payload_bits=block_bits(config, tokens_per_block=1),
+            field_order=config.field_order,
+            generation_id=0,
+        )
+        self.state = self.generation.new_state()
+        # The central controller's index assignment: a mapping provided in
+        # config.extra, or the canonical origin-UID indexing.
+        self._index_of = config.extra.get("index_of")
+        self._decoded = False
+
+    def _index_for(self, token: Token) -> int:
+        if self._index_of is not None:
+            return int(self._index_of[token.token_id])  # type: ignore[index]
+        return token.token_id.origin % self.generation.k
+
+    def setup(self, initial_tokens: Sequence[Token]) -> None:
+        super().setup(initial_tokens)
+        for token in initial_tokens:
+            payload = encode_block(self.config, [token], tokens_per_block=1)
+            self.state.add_source(self._index_for(token), payload)
+
+    def compose(self, round_index: int) -> Message | None:
+        combination = self.state.subspace.random_combination(self.rng)
+        if combination is None:
+            return None
+        message = self.generation.message_from_vector(self.uid, combination)
+        return FreeHeaderCodedMessage(
+            sender=message.sender,
+            coefficients=message.coefficients,
+            payload=message.payload,
+            field_order=message.field_order,
+            generation=message.generation,
+        )
+
+    def deliver(self, round_index: int, messages: Sequence[Message]) -> None:
+        for message in messages:
+            if isinstance(message, CodedMessage):
+                self.state.receive(message)
+        if not self._decoded and self.state.can_decode():
+            payloads = self.state.decode_payloads()
+            if payloads is not None:
+                for payload in payloads:
+                    for token in decode_block(self.config, payload, tokens_per_block=1):
+                        self._learn_token(token)
+                self._decoded = True
+
+    def coded_rank(self) -> int:
+        return self.state.rank
+
+    def finished(self) -> bool:
+        return self._decoded

@@ -1,0 +1,127 @@
+"""Cost model for network-coded packets.
+
+These helpers answer the sizing questions the paper's algorithms constantly
+face: how many bits does a coefficient header for ``k`` dimensions cost at
+field size ``q``; how many tokens of size ``d`` can be grouped into blocks
+such that ``m`` blocks can be coded together inside a ``b``-bit message; and
+the ``b/2``-split used by greedy-forward (Section 7): group tokens into
+blocks of ``b/2d`` tokens so that ``b/2`` blocks can be broadcast
+simultaneously with the remaining ``b/2`` bits of header.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..gf import field_bits
+
+__all__ = [
+    "coding_header_bits",
+    "coded_payload_bits",
+    "coded_message_bits",
+    "max_dimensions_for_budget",
+    "GenerationPlan",
+    "plan_generation",
+]
+
+
+def coding_header_bits(k: int, q: int) -> int:
+    """Bits used by a coefficient header coding ``k`` dimensions over GF(q)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return k * field_bits(q)
+
+
+def coded_payload_bits(block_bits: int, q: int) -> int:
+    """Bits used by the coded payload for blocks of ``block_bits`` bits."""
+    if block_bits < 0:
+        raise ValueError(f"block size must be non-negative, got {block_bits}")
+    symbols = math.ceil(block_bits / field_bits(q)) if block_bits else 0
+    return symbols * field_bits(q)
+
+
+def coded_message_bits(k: int, block_bits: int, q: int) -> int:
+    """Total size of one coded message: header + payload (Lemma 5.3's ``k lg q + d``)."""
+    return coding_header_bits(k, q) + coded_payload_bits(block_bits, q)
+
+
+def max_dimensions_for_budget(budget_bits: int, block_bits: int, q: int) -> int:
+    """Largest ``k`` such that a coded message for ``k`` blocks fits in the budget."""
+    if budget_bits < 1:
+        raise ValueError(f"budget must be positive, got {budget_bits}")
+    per_dimension = field_bits(q)
+    available = budget_bits - coded_payload_bits(block_bits, q)
+    if available < per_dimension:
+        return 0
+    return available // per_dimension
+
+
+@dataclass(frozen=True)
+class GenerationPlan:
+    """How a set of tokens is packed into one coding generation.
+
+    Attributes
+    ----------
+    tokens_per_block:
+        Number of size-``d`` tokens grouped into each block ("meta-token").
+    block_bits:
+        Size of each block in bits.
+    num_blocks:
+        Number of blocks (= coded dimensions ``k`` of the generation).
+    field_order:
+        Field size used for the coding.
+    message_bits:
+        Size of one coded message under this plan.
+    """
+
+    tokens_per_block: int
+    block_bits: int
+    num_blocks: int
+    field_order: int
+
+    @property
+    def message_bits(self) -> int:
+        return coded_message_bits(self.num_blocks, self.block_bits, self.field_order)
+
+    @property
+    def tokens_covered(self) -> int:
+        """Total number of tokens this generation can carry."""
+        return self.tokens_per_block * self.num_blocks
+
+
+def plan_generation(
+    num_tokens: int,
+    token_bits: int,
+    budget_bits: int,
+    q: int = 2,
+) -> GenerationPlan:
+    """Plan the block structure greedy-forward uses (Section 7).
+
+    The paper splits the ``b``-bit message in half: ``b/2`` bits of payload
+    hold a block of ``b/2d`` tokens, and the other ``b/2`` bits hold the
+    coefficient header for up to ``b/2`` blocks (at ``q = 2``, one bit per
+    coefficient).  We reproduce that split, clamped to the number of tokens
+    actually available and never below one token per block.
+    """
+    if num_tokens < 1:
+        raise ValueError(f"need at least one token, got {num_tokens}")
+    if token_bits < 1:
+        raise ValueError(f"token size must be >= 1, got {token_bits}")
+    if budget_bits < token_bits:
+        raise ValueError(
+            f"budget {budget_bits} cannot even carry a single {token_bits}-bit token"
+        )
+    half_budget = max(token_bits, budget_bits // 2)
+    tokens_per_block = max(1, half_budget // token_bits)
+    block_bits = tokens_per_block * token_bits
+    symbol_bits = field_bits(q)
+    max_blocks = max(1, (budget_bits - block_bits) // symbol_bits) if budget_bits > block_bits else 1
+    num_blocks = min(max_blocks, math.ceil(num_tokens / tokens_per_block))
+    num_blocks = max(1, num_blocks)
+    return GenerationPlan(
+        tokens_per_block=tokens_per_block,
+        block_bits=block_bits,
+        num_blocks=num_blocks,
+        field_order=q,
+    )

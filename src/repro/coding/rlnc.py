@@ -1,0 +1,204 @@
+"""Random linear network coding generations: encode, recombine, decode.
+
+Section 5.1 in executable form.  A :class:`Generation` fixes the coding
+parameters for one indexed-broadcast instance: ``k`` dimensions (tokens or
+blocks of tokens), payload size in bits, and the field ``GF(q)``.  Nodes
+hold a :class:`~repro.coding.subspace.Subspace` of augmented vectors
+``v_i = e_i || t_i`` and exchange random linear combinations of everything
+they have received.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..gf import GF, get_field, symbols_needed, int_to_vector, vector_to_int
+from ..tokens.message import CodedMessage
+from .subspace import Subspace
+
+__all__ = ["Generation", "GenerationState"]
+
+
+@dataclass(frozen=True)
+class Generation:
+    """Parameters of one network-coding generation.
+
+    Attributes
+    ----------
+    k:
+        Number of coded dimensions (indexed tokens or blocks).
+    payload_bits:
+        Size in bits of each dimension's payload (the ``d`` of the paper, or
+        the block size for grouped "meta-tokens").
+    field_order:
+        The field size ``q`` (prime).
+    generation_id:
+        Tag distinguishing concurrent/successive generations; carried in
+        every coded message.
+    """
+
+    k: int
+    payload_bits: int
+    field_order: int = 2
+    generation_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"a generation needs k >= 1 dimensions, got {self.k}")
+        if self.payload_bits < 0:
+            raise ValueError(f"payload size must be >= 0, got {self.payload_bits}")
+
+    @property
+    def field(self) -> GF:
+        """The coding field."""
+        return get_field(self.field_order)
+
+    @property
+    def payload_symbols(self) -> int:
+        """Number of ``F_q`` symbols per payload (``d' = ceil(d / lg q)``)."""
+        return symbols_needed(self.payload_bits, self.field_order)
+
+    @property
+    def vector_length(self) -> int:
+        """Length of an augmented coding vector (``k + d'``)."""
+        return self.k + self.payload_symbols
+
+    @property
+    def message_bits(self) -> int:
+        """Size of one coded message (Lemma 5.3's ``k lg q + d``)."""
+        bits_per_symbol = self.field.bits_per_symbol
+        return (self.k + self.payload_symbols) * bits_per_symbol
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def source_vector(self, index: int, payload: int) -> np.ndarray:
+        """The augmented vector ``e_index || payload`` a source injects.
+
+        ``index`` is the dimension this payload occupies (0-based) and
+        ``payload`` its content as an integer of at most ``payload_bits`` bits.
+        """
+        if not 0 <= index < self.k:
+            raise IndexError(f"dimension index {index} out of range for k={self.k}")
+        field = self.field
+        vector = field.zeros(self.vector_length)
+        vector[index] = 1
+        if self.payload_symbols:
+            vector[self.k :] = int_to_vector(field, payload, self.payload_symbols)
+        return vector
+
+    def new_state(self) -> "GenerationState":
+        """A fresh per-node state (empty received subspace) for this generation."""
+        return GenerationState(self)
+
+    # ------------------------------------------------------------------
+    # message <-> vector conversion
+    # ------------------------------------------------------------------
+    def message_from_vector(self, sender: int, vector: np.ndarray) -> CodedMessage:
+        """Wrap an augmented vector as a :class:`CodedMessage`."""
+        arr = self.field.asarray(vector).ravel()
+        if arr.shape[0] != self.vector_length:
+            raise ValueError(
+                f"vector length {arr.shape[0]} != expected {self.vector_length}"
+            )
+        return CodedMessage(
+            sender=sender,
+            coefficients=tuple(int(x) for x in arr[: self.k].tolist()),
+            payload=tuple(int(x) for x in arr[self.k :].tolist()),
+            field_order=self.field_order,
+            generation=self.generation_id,
+        )
+
+    def vector_from_message(self, message: CodedMessage) -> np.ndarray:
+        """Unwrap a :class:`CodedMessage` back into an augmented vector."""
+        if message.field_order != self.field_order:
+            raise ValueError(
+                f"message field GF({message.field_order}) != generation field "
+                f"GF({self.field_order})"
+            )
+        if len(message.coefficients) != self.k or len(message.payload) != self.payload_symbols:
+            raise ValueError("message dimensions do not match this generation")
+        field = self.field
+        vector = field.zeros(self.vector_length)
+        for i, value in enumerate(message.coefficients):
+            vector[i] = field.normalize(value)
+        for i, value in enumerate(message.payload):
+            vector[self.k + i] = field.normalize(value)
+        return vector
+
+
+class GenerationState:
+    """Per-node state for one coding generation: the received subspace."""
+
+    def __init__(self, generation: Generation):
+        self.generation = generation
+        self.subspace = Subspace(generation.field, generation.vector_length)
+
+    # ------------------------------------------------------------------
+    # knowledge updates
+    # ------------------------------------------------------------------
+    def add_source(self, index: int, payload: int) -> bool:
+        """Inject a locally-known payload for dimension ``index``."""
+        return self.subspace.insert(self.generation.source_vector(index, payload))
+
+    def receive(self, message: CodedMessage) -> bool:
+        """Incorporate a received coded message; return True if innovative."""
+        return self.subspace.insert(self.generation.vector_from_message(message))
+
+    def receive_vector(self, vector: np.ndarray) -> bool:
+        """Incorporate a raw augmented vector; return True if innovative."""
+        return self.subspace.insert(vector)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def compose(self, sender: int, rng: np.random.Generator) -> CodedMessage | None:
+        """A random linear combination of everything received, as a message.
+
+        Returns None when the node has received nothing for this generation
+        yet (it then has nothing useful to contribute).
+        """
+        combination = self.subspace.random_combination(rng)
+        if combination is None:
+            return None
+        return self.generation.message_from_vector(sender, combination)
+
+    def compose_with_coefficients(self, sender: int, coefficients: Sequence[int]) -> CodedMessage | None:
+        """Combine the current basis with explicit coefficients (deterministic coding)."""
+        if self.subspace.rank == 0:
+            return None
+        combination = self.subspace.combination_with(
+            list(coefficients)[: self.subspace.rank]
+        )
+        return self.generation.message_from_vector(sender, combination)
+
+    # ------------------------------------------------------------------
+    # queries / decoding
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Dimension of the received span."""
+        return self.subspace.rank
+
+    def coefficient_rank(self) -> int:
+        """Rank of the span projected on the coefficient block."""
+        return self.subspace.coefficient_rank(self.generation.k)
+
+    def can_decode(self) -> bool:
+        """True iff all ``k`` dimensions can be recovered."""
+        return self.subspace.can_decode(self.generation.k)
+
+    def decode_payloads(self) -> list[int] | None:
+        """Recover all ``k`` payloads as integers, or None if not yet decodable."""
+        vectors = self.subspace.decode(self.generation.k)
+        if vectors is None:
+            return None
+        field = self.generation.field
+        return [vector_to_int(field, v) for v in vectors]
+
+    def senses(self, direction: Sequence[int] | np.ndarray) -> bool:
+        """Definition 5.1 sensing of a coefficient-space direction."""
+        return self.subspace.senses(direction)

@@ -1,0 +1,278 @@
+"""Incremental subspace (span) maintenance for network-coding nodes.
+
+A network-coding node's entire knowledge is the subspace spanned by the
+coded vectors it has received (Section 5.1).  This module provides the
+:class:`Subspace` type that maintains that span incrementally:
+
+* insert a received vector, learning whether it was *innovative*
+  (increased the dimension),
+* draw a uniformly random vector from the span (the message the node sends),
+* test the *sensing* relation of Definition 5.1 (is some received vector
+  non-orthogonal to a given direction?), and
+* decode the original tokens by Gauss-Jordan elimination once the
+  coefficient part of the span is full.
+
+For ``q = 2`` the implementation transparently uses the bit-packed
+:class:`~repro.gf.gf2.GF2Basis` fast path; for general prime ``q`` it keeps
+an echelon basis of numpy vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..gf import GF, GF2Basis, pack_bits, unpack_bits, unpack_bits
+
+__all__ = ["Subspace"]
+
+
+class Subspace:
+    """The span of a set of vectors over ``F_q``, maintained incrementally.
+
+    Parameters
+    ----------
+    field:
+        The prime field the vectors live over.
+    length:
+        Dimension of the ambient space (for augmented coding vectors this is
+        ``k + d'``: coefficient header plus payload symbols).
+    """
+
+    def __init__(self, field: GF, length: int):
+        if length < 0:
+            raise ValueError(f"vector length must be non-negative, got {length}")
+        self.field = field
+        self.length = length
+        self._gf2: GF2Basis | None = GF2Basis(length) if field.q == 2 else None
+        # For general q: echelon rows keyed by pivot (first non-zero) column.
+        self._rows: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "Subspace":
+        """An independent copy of this subspace."""
+        clone = Subspace(self.field, self.length)
+        if self._gf2 is not None:
+            clone._gf2 = self._gf2.copy()
+        else:
+            clone._rows = {col: row.copy() for col, row in self._rows.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def _reduce(self, vector: np.ndarray) -> np.ndarray:
+        """Reduce a vector against the echelon rows (general-q path)."""
+        v = vector
+        for col in range(self.length):
+            coeff = int(v[col])
+            if coeff == 0:
+                continue
+            row = self._rows.get(col)
+            if row is None:
+                break
+            v = self.field.sub_arrays(v, self.field.scale(row, coeff))
+        return v
+
+    def insert(self, vector: Sequence[int] | np.ndarray) -> bool:
+        """Insert a vector into the span; return True iff it was innovative."""
+        if self._gf2 is not None:
+            arr = np.asarray(vector).ravel()
+            if arr.shape[0] != self.length:
+                raise ValueError(
+                    f"vector length {arr.shape[0]} != ambient dimension {self.length}"
+                )
+            return self._gf2.insert([int(x) & 1 for x in arr.tolist()])
+        v = self.field.asarray(vector).ravel()
+        if v.shape[0] != self.length:
+            raise ValueError(
+                f"vector length {v.shape[0]} != ambient dimension {self.length}"
+            )
+        v = self._reduce(v)
+        pivot = next((i for i in range(self.length) if int(v[i]) != 0), None)
+        if pivot is None:
+            return False
+        # Normalise so the pivot entry is 1, then eliminate it from existing rows.
+        v = self.field.scale(v, self.field.inv(int(v[pivot])))
+        for col, row in list(self._rows.items()):
+            coeff = int(row[pivot])
+            if coeff != 0:
+                self._rows[col] = self.field.sub_arrays(row, self.field.scale(v, coeff))
+        self._rows[pivot] = v
+        return True
+
+    def extend(self, vectors: Iterable[Sequence[int] | np.ndarray]) -> int:
+        """Insert several vectors; return the number that were innovative."""
+        return sum(1 for v in vectors if self.insert(v))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Dimension of the span."""
+        if self._gf2 is not None:
+            return self._gf2.rank
+        return len(self._rows)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no non-zero vector has been received yet."""
+        return self.rank == 0
+
+    def basis_matrix(self) -> np.ndarray:
+        """The current basis as a matrix (one row per basis vector)."""
+        if self._gf2 is not None:
+            return self._gf2.basis_matrix()
+        if not self._rows:
+            return self.field.zeros((0, self.length))
+        rows = [self._rows[col] for col in sorted(self._rows)]
+        return np.stack(rows) if rows else self.field.zeros((0, self.length))
+
+    def contains(self, vector: Sequence[int] | np.ndarray) -> bool:
+        """True iff ``vector`` lies in the span."""
+        if self._gf2 is not None:
+            arr = [int(x) & 1 for x in np.asarray(vector).ravel().tolist()]
+            return self._gf2.contains(arr)
+        v = self.field.asarray(vector).ravel()
+        v = self._reduce(v)
+        return all(int(x) == 0 for x in v.tolist())
+
+    def senses(self, direction: Sequence[int] | np.ndarray) -> bool:
+        """Definition 5.1: some received vector is not orthogonal to ``direction``.
+
+        The direction may be shorter than the ambient dimension (e.g. a
+        ``k``-dimensional coefficient direction against ``k + d'``-dimensional
+        augmented vectors); it is implicitly zero-padded on the right, which
+        matches the paper's restriction to "the first ``k`` coordinates".
+        """
+        direction_arr = self.field.asarray(direction).ravel()
+        if direction_arr.shape[0] > self.length:
+            raise ValueError("direction longer than ambient dimension")
+        padded = self.field.zeros(self.length)
+        padded[: direction_arr.shape[0]] = direction_arr
+        if self._gf2 is not None:
+            return self._gf2.senses(pack_bits(padded.tolist()))
+        for row in self._rows.values():
+            if self.field.dot(row, padded) != 0:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # message generation
+    # ------------------------------------------------------------------
+    def random_combination(self, rng: np.random.Generator) -> np.ndarray | None:
+        """A uniformly random linear combination of the basis vectors.
+
+        Returns None when the subspace is empty (the node has nothing to
+        say yet); a protocol may then send nothing or a zero message.
+        """
+        if self.rank == 0:
+            return None
+        if self._gf2 is not None:
+            # Fast path: XOR a uniformly random subset of the basis masks.
+            masks = self._gf2.basis_masks()
+            picks = rng.integers(0, 2, size=len(masks))
+            combined = 0
+            for pick, mask in zip(picks.tolist(), masks):
+                if pick:
+                    combined ^= mask
+            return self.field.asarray(unpack_bits(combined, self.length))
+        basis = self.basis_matrix()
+        coefficients = self.field.random_elements(rng, basis.shape[0])
+        combination = self.field.zeros(self.length)
+        for coeff, row in zip(np.asarray(coefficients).ravel().tolist(), basis):
+            coeff = int(coeff)
+            if coeff:
+                combination = self.field.add_arrays(
+                    combination, self.field.scale(self.field.asarray(row), coeff)
+                )
+        return combination
+
+    def combination_with(self, coefficients: Sequence[int]) -> np.ndarray:
+        """A specific linear combination of the current basis vectors."""
+        basis = self.basis_matrix()
+        coeffs = list(coefficients)
+        if len(coeffs) != basis.shape[0]:
+            raise ValueError(
+                f"need {basis.shape[0]} coefficients, got {len(coeffs)}"
+            )
+        combination = self.field.zeros(self.length)
+        for coeff, row in zip(coeffs, basis):
+            coeff = self.field.normalize(int(coeff))
+            if coeff:
+                combination = self.field.add_arrays(
+                    combination, self.field.scale(self.field.asarray(row), coeff)
+                )
+        return combination
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def coefficient_rank(self, k: int) -> int:
+        """Rank of the span projected onto the first ``k`` coordinates."""
+        if self.rank == 0 or k == 0:
+            return 0
+        basis = self.basis_matrix()
+        projection = Subspace(self.field, k)
+        for row in basis:
+            projection.insert(np.asarray(row).ravel()[:k])
+        return projection.rank
+
+    def can_decode(self, k: int) -> bool:
+        """True iff the first ``k`` coefficient dimensions are fully spanned."""
+        if self.rank < k:
+            return False
+        return self.coefficient_rank(k) >= k
+
+    def decode(self, k: int) -> list[np.ndarray] | None:
+        """Recover the ``k`` original payload vectors, or None if not yet possible.
+
+        The stored vectors are augmented ``[coefficients | payload]``; decoding
+        runs Gauss-Jordan on the coefficient block and reads the payloads off
+        the rows whose coefficient part became a unit vector (Section 5.1).
+        """
+        if not self.can_decode(k):
+            return None
+        basis = self.basis_matrix()
+        if self._gf2 is not None:
+            # Re-run full reduction on the packed representation for exactness.
+            working = [pack_bits(row.tolist()) for row in basis]
+        payload_len = self.length - k
+        # Gauss-Jordan on the coefficient block using generic field arithmetic
+        # (basis sizes here are small: at most k + d' rows).
+        rows = [self.field.asarray(row).ravel() for row in basis]
+        pivot_of_col: dict[int, int] = {}
+        for row_index in range(len(rows)):
+            row = rows[row_index]
+            # Reduce by existing pivots.
+            for col, pivot_row in pivot_of_col.items():
+                coeff = int(row[col])
+                if coeff:
+                    row = self.field.sub_arrays(
+                        row, self.field.scale(rows[pivot_row], coeff)
+                    )
+            pivot = next((c for c in range(k) if int(row[c]) != 0), None)
+            rows[row_index] = row
+            if pivot is None:
+                continue
+            row = self.field.scale(row, self.field.inv(int(row[pivot])))
+            rows[row_index] = row
+            for other in range(len(rows)):
+                if other != row_index:
+                    coeff = int(rows[other][pivot])
+                    if coeff:
+                        rows[other] = self.field.sub_arrays(
+                            rows[other], self.field.scale(row, coeff)
+                        )
+            pivot_of_col[pivot] = row_index
+        if len(pivot_of_col) < k:
+            return None
+        payloads = []
+        for dimension in range(k):
+            row = rows[pivot_of_col[dimension]]
+            payloads.append(self.field.asarray(row[k : k + payload_len]))
+        return payloads

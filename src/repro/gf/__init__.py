@@ -1,0 +1,78 @@
+"""Finite-field linear algebra substrate.
+
+Everything the network-coding layer needs: prime fields ``GF(q)``, vector
+packing of bit payloads, Gaussian elimination / rank / solving, and a
+bit-packed GF(2) fast path for the common XOR case.
+"""
+
+from .field import (
+    GF,
+    GF2,
+    field_bits,
+    get_field,
+    is_prime,
+    next_prime,
+    smallest_prime_at_least,
+)
+from .gf2 import GF2Basis, pack_bits, unpack_bits
+from .matrix import (
+    RrefResult,
+    identity,
+    inverse,
+    is_invertible,
+    null_space_basis,
+    random_invertible_matrix,
+    random_matrix,
+    rank,
+    row_space_basis,
+    rref,
+    solve,
+    vandermonde,
+)
+from .vectors import (
+    bits_to_vector,
+    concat_vectors,
+    int_to_vector,
+    is_zero_vector,
+    linear_combination,
+    symbols_needed,
+    unit_vector,
+    vector_to_bits,
+    vector_to_int,
+    vectors_equal,
+)
+
+__all__ = [
+    "GF",
+    "GF2",
+    "GF2Basis",
+    "RrefResult",
+    "bits_to_vector",
+    "concat_vectors",
+    "field_bits",
+    "get_field",
+    "identity",
+    "int_to_vector",
+    "inverse",
+    "is_invertible",
+    "is_prime",
+    "is_zero_vector",
+    "linear_combination",
+    "next_prime",
+    "null_space_basis",
+    "pack_bits",
+    "random_invertible_matrix",
+    "random_matrix",
+    "rank",
+    "row_space_basis",
+    "rref",
+    "smallest_prime_at_least",
+    "solve",
+    "symbols_needed",
+    "unit_vector",
+    "unpack_bits",
+    "vandermonde",
+    "vector_to_bits",
+    "vector_to_int",
+    "vectors_equal",
+]

@@ -1,0 +1,153 @@
+"""Bit-packed GF(2) linear algebra fast path.
+
+For ``q = 2`` (the common case in the paper — "replace linear combinations
+by XORs", Section 5.1) Gaussian elimination over generic field arrays is
+much slower than necessary.  This module stores each GF(2) vector as a
+Python integer bit mask and implements an incremental XOR-echelon basis,
+which is what the coding layer's subspace maintenance actually needs: every
+received coded vector is either reduced to zero (no new information) or
+inserted as a new basis row.
+
+The representation is deliberately simple: a vector of length ``n`` is an
+``int`` whose bit ``i`` is the ``i``-th coordinate.  All operations are
+O(n/64) thanks to Python's big-int XOR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "GF2Basis",
+]
+
+
+def pack_bits(bits: Sequence[int] | np.ndarray) -> int:
+    """Pack a 0/1 sequence (coordinate 0 first) into an integer mask."""
+    mask = 0
+    for i, bit in enumerate(np.asarray(bits).ravel().tolist()):
+        if int(bit) & 1:
+            mask |= 1 << i
+    return mask
+
+
+def unpack_bits(mask: int, length: int) -> np.ndarray:
+    """Unpack an integer mask into a length-``length`` 0/1 numpy vector."""
+    out = np.zeros(length, dtype=np.int64)
+    remaining = mask
+    index = 0
+    while remaining and index < length:
+        if remaining & 1:
+            out[index] = 1
+        remaining >>= 1
+        index += 1
+    return out
+
+
+@dataclass
+class GF2Basis:
+    """An incrementally-maintained echelon basis of a GF(2) subspace.
+
+    Rows are stored as integer bit masks in echelon form keyed by their
+    leading (highest set) bit, so insertion and membership tests are
+    O(rank * length/64).
+
+    This mirrors exactly what a network-coding node does with its received
+    messages: keep a basis of the span, detect whether a new message is
+    innovative, and decode by back-substitution once the span is full.
+    """
+
+    length: int
+    _rows: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # insertion / reduction
+    # ------------------------------------------------------------------
+    def _reduce(self, mask: int) -> int:
+        """Reduce ``mask`` against the current basis rows."""
+        while mask:
+            lead = mask.bit_length() - 1
+            row = self._rows.get(lead)
+            if row is None:
+                return mask
+            mask ^= row
+        return 0
+
+    def insert(self, vector: int | Sequence[int] | np.ndarray) -> bool:
+        """Insert a vector; return True iff it was innovative (increased rank)."""
+        mask = vector if isinstance(vector, int) else pack_bits(vector)
+        reduced = self._reduce(mask)
+        if reduced == 0:
+            return False
+        self._rows[reduced.bit_length() - 1] = reduced
+        return True
+
+    def contains(self, vector: int | Sequence[int] | np.ndarray) -> bool:
+        """True iff the vector lies in the span of the basis."""
+        mask = vector if isinstance(vector, int) else pack_bits(vector)
+        return self._reduce(mask) == 0
+
+    def extend(self, vectors: Iterable[int | Sequence[int] | np.ndarray]) -> int:
+        """Insert many vectors; return how many were innovative."""
+        added = 0
+        for v in vectors:
+            if self.insert(v):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Dimension of the spanned subspace."""
+        return len(self._rows)
+
+    def basis_masks(self) -> list[int]:
+        """The basis rows as integer masks, highest leading bit first."""
+        return [self._rows[lead] for lead in sorted(self._rows, reverse=True)]
+
+    def basis_matrix(self) -> np.ndarray:
+        """The basis as a 0/1 numpy matrix with one row per basis vector."""
+        masks = self.basis_masks()
+        out = np.zeros((len(masks), self.length), dtype=np.int64)
+        for i, mask in enumerate(masks):
+            out[i] = unpack_bits(mask, self.length)
+        return out
+
+    def senses(self, direction: int | Sequence[int] | np.ndarray) -> bool:
+        """True iff some basis vector is *not* orthogonal to ``direction``.
+
+        This is the "sensing" relation of Definition 5.1 specialised to
+        GF(2): orthogonality is parity of the AND of the two masks.
+        """
+        mask = direction if isinstance(direction, int) else pack_bits(direction)
+        for row in self._rows.values():
+            if bin(row & mask).count("1") % 2 == 1:
+                return True
+        return False
+
+    def reduced_echelon_matrix(self) -> np.ndarray:
+        """Fully reduced (Gauss-Jordan) basis matrix, used for decoding."""
+        masks = self.basis_masks()
+        # Back-substitute so each leading bit appears in exactly one row.
+        for i in range(len(masks)):
+            lead = masks[i].bit_length() - 1
+            for j in range(len(masks)):
+                if i != j and (masks[j] >> lead) & 1:
+                    masks[j] ^= masks[i]
+        out = np.zeros((len(masks), self.length), dtype=np.int64)
+        for i, mask in enumerate(masks):
+            out[i] = unpack_bits(mask, self.length)
+        return out
+
+    def copy(self) -> "GF2Basis":
+        """An independent copy of this basis."""
+        clone = GF2Basis(self.length)
+        clone._rows = dict(self._rows)
+        return clone

@@ -1,0 +1,367 @@
+"""Adversaries controlling the dynamic network topology.
+
+Section 4.1 of the paper: "During each round ``t`` the network's
+connectivity is defined by a connected undirected graph ``G(t)`` chosen by
+an adversary."  For randomized algorithms the paper's default is the
+*adaptive* adversary, which picks the topology of round ``t`` after seeing
+all past actions and the current node states, but *before* the (random)
+messages of round ``t`` are chosen.  Section 6 additionally considers an
+*omniscient* adversary that knows all randomness in advance — operationally
+it may pick the topology after seeing the round's messages.
+
+The adversary API reflects this distinction:
+
+* every adversary implements :meth:`Adversary.choose_topology`, called before
+  messages are fixed, receiving a read-only :class:`NodeStateView` per node;
+* adversaries with ``sees_messages = True`` are instead called *after* the
+  messages for the round have been committed and also receive them.
+
+Concrete adversaries include the oblivious random/periodic families, the
+worst-case adaptive "bottleneck" adversaries used in the KLO lower-bound
+constructions, and wrappers adding T-stability.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from . import graphs
+
+__all__ = [
+    "NodeStateView",
+    "Adversary",
+    "StaticAdversary",
+    "ObliviousSequenceAdversary",
+    "RandomConnectedAdversary",
+    "RandomTreeAdversary",
+    "RotatingStarAdversary",
+    "ShiftedRingAdversary",
+    "PathShuffleAdversary",
+    "BottleneckAdversary",
+    "TokenIsolationAdversary",
+    "OmniscientBottleneckAdversary",
+    "TStableAdversary",
+    "make_adversary",
+]
+
+
+@dataclass(frozen=True)
+class NodeStateView:
+    """Read-only snapshot of a node's knowledge, exposed to adaptive adversaries.
+
+    Attributes
+    ----------
+    uid:
+        The node's unique identifier (its index in ``0..n-1``).
+    known_token_ids:
+        Identifiers of tokens the node can currently decode.
+    rank:
+        Dimension of the node's received coded subspace (0 for non-coding
+        protocols).
+    extra:
+        Protocol-specific scalars (e.g. phase counters) useful for adaptive
+        scheduling; adversaries must not rely on specific keys existing.
+    """
+
+    uid: int
+    known_token_ids: frozenset = frozenset()
+    rank: int = 0
+    extra: Mapping[str, int] = dataclass_field(default_factory=dict)
+
+
+class Adversary(abc.ABC):
+    """Base class for topology-choosing adversaries."""
+
+    #: True for omniscient adversaries that pick the topology after seeing the
+    #: messages nodes committed for the round.
+    sees_messages: bool = False
+
+    @abc.abstractmethod
+    def choose_topology(
+        self,
+        round_index: int,
+        n: int,
+        states: Sequence[NodeStateView],
+        messages: Sequence[object] | None = None,
+    ) -> nx.Graph:
+        """Return the connected round-``round_index`` communication graph.
+
+        ``messages`` is only provided to adversaries with ``sees_messages``.
+        """
+
+    def reset(self) -> None:
+        """Reset internal adversary state before a fresh run (optional)."""
+
+
+class StaticAdversary(Adversary):
+    """Keeps a single fixed topology for the whole execution."""
+
+    def __init__(self, graph_factory: Callable[[int], nx.Graph] | nx.Graph):
+        self._factory = graph_factory
+        self._cached: nx.Graph | None = None
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        if self._cached is None:
+            graph = self._factory if isinstance(self._factory, nx.Graph) else self._factory(n)
+            graphs.validate_topology(graph, n)
+            self._cached = graph
+        return self._cached
+
+    def reset(self) -> None:
+        # A static topology does not depend on run history; keep the cache.
+        pass
+
+
+class ObliviousSequenceAdversary(Adversary):
+    """Plays a pre-determined (round-indexed) sequence of topologies."""
+
+    def __init__(self, topology_fn: Callable[[int, int], nx.Graph]):
+        self._topology_fn = topology_fn
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        graph = self._topology_fn(n, round_index)
+        graphs.validate_topology(graph, n)
+        return graph
+
+
+class RandomConnectedAdversary(Adversary):
+    """A fresh random connected graph in every round (oblivious)."""
+
+    def __init__(self, seed: int = 0, extra_edge_prob: float = 0.05):
+        self._seed = seed
+        self._extra_edge_prob = extra_edge_prob
+        self._rng = np.random.default_rng(seed)
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        return graphs.random_connected_graph(n, self._rng, self._extra_edge_prob)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class RandomTreeAdversary(Adversary):
+    """A fresh uniformly random spanning tree every round (sparsest legal graphs)."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        return graphs.random_tree(n, self._rng)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class RotatingStarAdversary(Adversary):
+    """Star topology whose center moves every round."""
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        return graphs.rotating_star(n, round_index)
+
+
+class ShiftedRingAdversary(Adversary):
+    """Ring topology whose labelling is permuted every round."""
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        return graphs.shifted_ring(n, round_index)
+
+
+class PathShuffleAdversary(Adversary):
+    """A freshly shuffled path in every round.
+
+    Paths are the sparsest connected graphs with the largest diameter, which
+    makes this a natural stress topology for dissemination.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        order = list(self._rng.permutation(n))
+        return graphs.path_graph(n, order)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class BottleneckAdversary(Adversary):
+    """Adaptive adversary that minimises the flow of *new* information.
+
+    It partitions nodes into "rich" (many known tokens / high rank) and
+    "poor" groups and joins the two sides with a single bridge, always
+    choosing as the rich-side bridge endpoint the rich node with the fewest
+    known tokens.  This is the adaptive cut structure underlying the KLO
+    lower bound for knowledge-based token-forwarding: each round at most one
+    poor node can learn anything from the rich side, and it learns it from
+    the least-informed rich node.
+    """
+
+    def __init__(self, bridge_pairs: int = 1):
+        if bridge_pairs < 1:
+            raise ValueError("bridge_pairs must be at least 1")
+        self._bridge_pairs = bridge_pairs
+
+    def _score(self, state: NodeStateView) -> tuple[int, int]:
+        return (len(state.known_token_ids), state.rank)
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        if n <= 2:
+            return graphs.complete_graph(n)
+        ordered = sorted(states, key=self._score)
+        # Poor half = least-informed nodes; rich half = most-informed nodes.
+        half = n // 2
+        poor = [s.uid for s in ordered[:half]]
+        rich = [s.uid for s in ordered[half:]]
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from((u, v) for i, u in enumerate(poor) for v in poor[i + 1 :])
+        graph.add_edges_from((u, v) for i, u in enumerate(rich) for v in rich[i + 1 :])
+        # Bridge: least-informed rich node to most-informed poor node — the
+        # crossing that transfers the least new knowledge.
+        for b in range(self._bridge_pairs):
+            graph.add_edge(rich[b % len(rich)], poor[-1 - (b % len(poor))])
+        graphs.validate_topology(graph, n)
+        return graph
+
+
+class TokenIsolationAdversary(Adversary):
+    """Adaptive adversary that isolates the holders of one target token.
+
+    Nodes that know the target token are placed in one clique, all other
+    nodes in another, with a single bridge edge.  The spread of the target
+    token (or, for coding protocols, of the corresponding direction) is
+    then limited to one new node per round — the slowest rate connectivity
+    permits.  This realises, per round, the worst case used in the
+    Section 5.3 analysis.
+    """
+
+    def __init__(self, target_token_id: object):
+        self._target = target_token_id
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        informed = {s.uid for s in states if self._target in s.known_token_ids}
+        if not informed or len(informed) == n:
+            return graphs.complete_graph(n)
+        return graphs.split_graph(n, informed, bridge_pairs=1)
+
+
+class OmniscientBottleneckAdversary(Adversary):
+    """Omniscient variant of the bottleneck adversary (Section 6).
+
+    Because it is allowed to see the round's committed messages, it can try
+    to place the bridge so that the crossing message is useless to the
+    receiving side (e.g. already in its span).  Against small fields this
+    succeeds often; against the large fields of Theorem 6.1 it cannot,
+    which is exactly the claim benchmark E9 validates.
+    """
+
+    sees_messages = True
+
+    def __init__(self, usefulness_fn: Callable[[int, int, object], bool] | None = None):
+        """``usefulness_fn(sender_uid, receiver_uid, message) -> bool``.
+
+        Supplied by the experiment harness because judging "useless" requires
+        inspecting protocol-specific message contents.  When omitted, the
+        adversary degenerates to the adaptive bottleneck behaviour.
+        """
+        self._usefulness_fn = usefulness_fn
+        self._fallback = BottleneckAdversary()
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        if messages is None or self._usefulness_fn is None or n <= 2:
+            return self._fallback.choose_topology(round_index, n, states, messages)
+        ordered = sorted(states, key=lambda s: (len(s.known_token_ids), s.rank))
+        half = n // 2
+        poor = [s.uid for s in ordered[:half]]
+        rich = [s.uid for s in ordered[half:]]
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from((u, v) for i, u in enumerate(poor) for v in poor[i + 1 :])
+        graph.add_edges_from((u, v) for i, u in enumerate(rich) for v in rich[i + 1 :])
+        # Search for a bridge whose rich->poor message is NOT useful.
+        best_edge = None
+        for sender in rich:
+            message = messages[sender]
+            for receiver in poor:
+                if not self._usefulness_fn(sender, receiver, message):
+                    best_edge = (sender, receiver)
+                    break
+            if best_edge:
+                break
+        if best_edge is None:
+            best_edge = (rich[0], poor[-1])
+        graph.add_edge(*best_edge)
+        graphs.validate_topology(graph, n)
+        return graph
+
+
+class TStableAdversary(Adversary):
+    """Wrap any adversary so the topology only changes every ``T`` rounds.
+
+    This is the paper's T-stability requirement (Section 8): the entire
+    network is static within each block of ``T`` consecutive rounds.
+    """
+
+    def __init__(self, inner: Adversary, stability: int):
+        if stability < 1:
+            raise ValueError(f"stability T must be >= 1, got {stability}")
+        self.inner = inner
+        self.stability = stability
+        self._current: nx.Graph | None = None
+        self._current_block = -1
+
+    @property
+    def sees_messages(self) -> bool:  # type: ignore[override]
+        return self.inner.sees_messages
+
+    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+        block = round_index // self.stability
+        if block != self._current_block or self._current is None:
+            self._current = self.inner.choose_topology(round_index, n, states, messages)
+            self._current_block = block
+        return self._current
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._current = None
+        self._current_block = -1
+
+
+_ADVERSARY_FACTORIES: dict[str, Callable[..., Adversary]] = {
+    "static_path": lambda **kw: StaticAdversary(graphs.path_graph),
+    "static_ring": lambda **kw: StaticAdversary(graphs.ring_graph),
+    "static_star": lambda **kw: StaticAdversary(graphs.star_graph),
+    "static_complete": lambda **kw: StaticAdversary(graphs.complete_graph),
+    "random_connected": lambda seed=0, **kw: RandomConnectedAdversary(seed=seed),
+    "random_tree": lambda seed=0, **kw: RandomTreeAdversary(seed=seed),
+    "rotating_star": lambda **kw: RotatingStarAdversary(),
+    "shifted_ring": lambda **kw: ShiftedRingAdversary(),
+    "path_shuffle": lambda seed=0, **kw: PathShuffleAdversary(seed=seed),
+    "bottleneck": lambda **kw: BottleneckAdversary(),
+}
+
+
+def make_adversary(name: str, *, stability: int = 1, seed: int = 0) -> Adversary:
+    """Construct a named adversary, optionally wrapped for T-stability.
+
+    Recognised names: ``static_path``, ``static_ring``, ``static_star``,
+    ``static_complete``, ``random_connected``, ``random_tree``,
+    ``rotating_star``, ``shifted_ring``, ``path_shuffle``, ``bottleneck``.
+    """
+    try:
+        factory = _ADVERSARY_FACTORIES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown adversary {name!r}; choose from {sorted(_ADVERSARY_FACTORIES)}"
+        ) from exc
+    adversary = factory(seed=seed)
+    if stability > 1:
+        adversary = TStableAdversary(adversary, stability)
+    return adversary

@@ -1,0 +1,219 @@
+"""Topology generators and validators for dynamic networks.
+
+The dynamic network model (Section 4.1) only requires that the per-round
+communication graph ``G(t)`` is *connected* and spans all ``n`` nodes.  The
+adversary is otherwise unconstrained.  This module provides the concrete
+connected topologies used by our adversaries and benchmarks:
+
+* deterministic structures (path, ring, star, complete, binary tree,
+  dumbbell) which appear in the KLO lower-bound constructions, and
+* randomized structures (random connected graphs, random trees,
+  random regular-ish expanders) used as "typical" dynamic rounds.
+
+All generators return ``networkx.Graph`` objects on nodes ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "validate_topology",
+    "path_graph",
+    "ring_graph",
+    "star_graph",
+    "complete_graph",
+    "binary_tree_graph",
+    "dumbbell_graph",
+    "random_tree",
+    "random_connected_graph",
+    "random_matching_plus_path",
+    "rotating_star",
+    "shifted_ring",
+    "split_graph",
+]
+
+
+def validate_topology(graph: nx.Graph, n: int) -> None:
+    """Check that a graph is a legal round topology for an ``n``-node network.
+
+    Raises ``ValueError`` on violation: wrong node set, self-loops, or a
+    disconnected graph (the model requires connectivity in every round).
+    """
+    if set(graph.nodes) != set(range(n)):
+        raise ValueError(
+            f"topology must have node set 0..{n - 1}, got {sorted(graph.nodes)[:10]}..."
+        )
+    for u, v in graph.edges:
+        if u == v:
+            raise ValueError(f"self-loop on node {u} is not allowed")
+    if n > 1 and not nx.is_connected(graph):
+        raise ValueError("round topology must be connected")
+
+
+def path_graph(n: int, order: Sequence[int] | None = None) -> nx.Graph:
+    """A path over the nodes, optionally in a caller-provided order."""
+    nodes = list(order) if order is not None else list(range(n))
+    if sorted(nodes) != list(range(n)):
+        raise ValueError("order must be a permutation of 0..n-1")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(zip(nodes, nodes[1:]))
+    return graph
+
+
+def ring_graph(n: int) -> nx.Graph:
+    """A cycle over the nodes (falls back to a path for n < 3)."""
+    if n < 3:
+        return path_graph(n)
+    graph = nx.cycle_graph(n)
+    return graph
+
+
+def star_graph(n: int, center: int = 0) -> nx.Graph:
+    """A star with the given center node."""
+    if not 0 <= center < n:
+        raise ValueError(f"center {center} out of range for n={n}")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((center, v) for v in range(n) if v != center)
+    return graph
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """The complete graph K_n."""
+    return nx.complete_graph(n)
+
+
+def binary_tree_graph(n: int) -> nx.Graph:
+    """A complete-ish binary tree on n nodes (node i's parent is (i-1)//2)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((child, (child - 1) // 2) for child in range(1, n))
+    return graph
+
+
+def dumbbell_graph(n: int, bridge_left: int | None = None, bridge_right: int | None = None) -> nx.Graph:
+    """Two cliques of size ~n/2 joined by a single bridge edge.
+
+    The bridge endpoints can be chosen per round, which is the classic way an
+    adaptive adversary throttles information flow between the two halves.
+    """
+    if n < 2:
+        return complete_graph(n)
+    half = n // 2
+    left = list(range(half))
+    right = list(range(half, n))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((u, v) for i, u in enumerate(left) for v in left[i + 1 :])
+    graph.add_edges_from((u, v) for i, u in enumerate(right) for v in right[i + 1 :])
+    bl = left[0] if bridge_left is None else bridge_left
+    br = right[0] if bridge_right is None else bridge_right
+    if bl not in left or br not in right:
+        raise ValueError("bridge endpoints must lie in their respective halves")
+    graph.add_edge(bl, br)
+    return graph
+
+
+def random_tree(n: int, rng: np.random.Generator) -> nx.Graph:
+    """A uniformly random labelled tree via a random Prüfer-like attachment."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    if n <= 1:
+        return graph
+    order = list(rng.permutation(n))
+    for i in range(1, n):
+        parent = order[int(rng.integers(0, i))]
+        graph.add_edge(order[i], parent)
+    return graph
+
+
+def random_connected_graph(n: int, rng: np.random.Generator, extra_edge_prob: float = 0.1) -> nx.Graph:
+    """A random connected graph: random spanning tree plus iid extra edges."""
+    if not 0 <= extra_edge_prob <= 1:
+        raise ValueError(f"extra_edge_prob must be in [0,1], got {extra_edge_prob}")
+    graph = random_tree(n, rng)
+    if n >= 3 and extra_edge_prob > 0:
+        # Sample extra edges without materialising all O(n^2) pairs when the
+        # probability is small.
+        expected = extra_edge_prob * n * (n - 1) / 2
+        count = int(rng.poisson(expected))
+        for _ in range(count):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u != v:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_matching_plus_path(n: int, rng: np.random.Generator) -> nx.Graph:
+    """A random permutation path plus a random perfect-ish matching.
+
+    This is a sparse, rapidly-mixing topology with small degree — a natural
+    "benign but fully dynamic" round graph.
+    """
+    order = list(rng.permutation(n))
+    graph = path_graph(n, order)
+    pairing = list(rng.permutation(n))
+    for i in range(0, n - 1, 2):
+        graph.add_edge(int(pairing[i]), int(pairing[i + 1]))
+    return graph
+
+
+def rotating_star(n: int, round_index: int) -> nx.Graph:
+    """A star whose center rotates every round (center = round mod n)."""
+    return star_graph(n, center=round_index % n)
+
+
+def shifted_ring(n: int, round_index: int) -> nx.Graph:
+    """A ring re-labelled by a round-dependent rotation.
+
+    Nodes keep changing neighbours every round while the graph stays a cycle;
+    a simple fully-dynamic adversary that defeats naive pipelining.
+    """
+    if n < 3:
+        return path_graph(n)
+    shift = round_index % n
+    stride = 1 + (round_index % max(1, n - 2))
+    # Make sure the stride is co-prime with n so the structure stays connected
+    # as a single cycle.
+    while np.gcd(stride, n) != 1:
+        stride += 1
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for i in range(n):
+        graph.add_edge((shift + i * stride) % n, (shift + (i + 1) * stride) % n)
+    return graph
+
+
+def split_graph(n: int, informed: set[int], bridge_pairs: int = 1) -> nx.Graph:
+    """Connect an informed group and an uninformed group with few bridges.
+
+    Each side is internally a clique (so information mixes freely within a
+    side) while only ``bridge_pairs`` edges cross the cut.  Adaptive
+    adversaries use this to slow the spread of a specific token or coded
+    direction to the minimum the connectivity requirement allows.
+    """
+    informed = {v for v in informed if 0 <= v < n}
+    uninformed = [v for v in range(n) if v not in informed]
+    informed_list = sorted(informed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(
+        (u, v) for i, u in enumerate(informed_list) for v in informed_list[i + 1 :]
+    )
+    graph.add_edges_from(
+        (u, v) for i, u in enumerate(uninformed) for v in uninformed[i + 1 :]
+    )
+    if informed_list and uninformed:
+        pairs = max(1, bridge_pairs)
+        for i in range(pairs):
+            graph.add_edge(
+                informed_list[i % len(informed_list)],
+                uninformed[i % len(uninformed)],
+            )
+    return graph

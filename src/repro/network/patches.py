@@ -1,0 +1,200 @@
+"""Graph patching for T-stable networks (Section 8.1).
+
+The patch-sharing algorithm partitions the (static for ``T`` rounds) graph
+into connected *patches* of size ``Omega(D)`` and diameter ``O(D)``:
+
+1. form the ``D``-th power ``G^D`` of the connectivity graph,
+2. compute a maximal independent set ``S`` of ``G^D`` (the patch *leaders*),
+3. assign every vertex to its closest leader (ties by smallest leader id),
+
+which yields patches that are connected (via shortest-path trees), have
+diameter at most ``2D`` and size at least ``D/2`` (Section 8.1 items 1-3;
+the size bound degrades gracefully when fewer than ``D/2`` nodes exist).
+
+The module exposes both the patch decomposition itself and the per-patch
+shortest-path trees (rooted at the leaders) that the share step's pipelined
+aggregation runs over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .mis import MisResult, greedy_mis, luby_mis
+
+__all__ = [
+    "Patch",
+    "PatchDecomposition",
+    "power_graph",
+    "compute_patches",
+]
+
+
+@dataclass(frozen=True)
+class Patch:
+    """One patch of the decomposition.
+
+    Attributes
+    ----------
+    leader:
+        The MIS vertex this patch is built around.
+    members:
+        All vertices assigned to the leader (including the leader itself).
+    parent:
+        Shortest-path-tree parent of each member (leader maps to itself).
+    depth:
+        Tree depth of each member (leader has depth 0).
+    """
+
+    leader: int
+    members: frozenset
+    parent: dict
+    depth: dict
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the patch."""
+        return len(self.members)
+
+    @property
+    def height(self) -> int:
+        """Height of the patch's shortest-path tree."""
+        return max(self.depth.values()) if self.depth else 0
+
+    def children(self) -> dict:
+        """Map each member to the list of its tree children."""
+        kids: dict = {member: [] for member in self.members}
+        for node, parent in self.parent.items():
+            if node != self.leader:
+                kids[parent].append(node)
+        return kids
+
+
+@dataclass(frozen=True)
+class PatchDecomposition:
+    """A full patch decomposition of one static topology."""
+
+    patches: tuple[Patch, ...]
+    radius: int
+    mis_rounds: int
+
+    @property
+    def leaders(self) -> frozenset:
+        """The set of patch leaders (the MIS of the power graph)."""
+        return frozenset(p.leader for p in self.patches)
+
+    def patch_of(self, node: int) -> Patch:
+        """Return the patch containing ``node``."""
+        for patch in self.patches:
+            if node in patch.members:
+                return patch
+        raise KeyError(f"node {node} is not covered by the decomposition")
+
+    def membership(self) -> dict:
+        """Map every node to its leader."""
+        out: dict = {}
+        for patch in self.patches:
+            for member in patch.members:
+                out[member] = patch.leader
+        return out
+
+    @property
+    def min_patch_size(self) -> int:
+        """Size of the smallest patch."""
+        return min(p.size for p in self.patches)
+
+    @property
+    def max_patch_diameter_bound(self) -> int:
+        """Twice the maximum tree height — an upper bound on any patch's diameter."""
+        return 2 * max(p.height for p in self.patches)
+
+
+def power_graph(graph: nx.Graph, distance: int) -> nx.Graph:
+    """The ``distance``-th power of ``graph``: connect nodes within that distance."""
+    if distance < 1:
+        raise ValueError(f"distance must be >= 1, got {distance}")
+    powered = nx.Graph()
+    powered.add_nodes_from(graph.nodes)
+    lengths = dict(nx.all_pairs_shortest_path_length(graph, cutoff=distance))
+    for u, reachable in lengths.items():
+        for v, dist in reachable.items():
+            if u != v and dist <= distance:
+                powered.add_edge(u, v)
+    return powered
+
+
+def compute_patches(
+    graph: nx.Graph,
+    radius: int,
+    rng: np.random.Generator | None = None,
+    deterministic: bool = False,
+) -> PatchDecomposition:
+    """Partition ``graph`` into patches of radius ``radius`` (the paper's ``D``).
+
+    Parameters
+    ----------
+    graph:
+        The static topology for the current T-stable block.  Must be connected.
+    radius:
+        The target patch radius ``D``; the paper sets ``D = O(T / log n)``.
+    rng:
+        Randomness source for Luby's MIS; required unless ``deterministic``.
+    deterministic:
+        Use the deterministic greedy MIS instead of Luby's.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("cannot patch an empty graph")
+    if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+        raise ValueError("patching requires a connected topology")
+    radius = max(1, radius)
+
+    powered = power_graph(graph, radius)
+    if deterministic:
+        mis_result: MisResult = greedy_mis(powered)
+    else:
+        if rng is None:
+            raise ValueError("rng is required for the randomized (Luby) MIS")
+        mis_result = luby_mis(powered, rng)
+    leaders = sorted(mis_result.members)
+
+    # Multi-source BFS from all leaders simultaneously; each node is claimed
+    # by the first leader to reach it (ties broken by smaller leader id
+    # because we expand leaders in sorted order within each BFS layer).
+    assignment: dict = {leader: leader for leader in leaders}
+    parent: dict = {leader: leader for leader in leaders}
+    depth: dict = {leader: 0 for leader in leaders}
+    frontier = list(leaders)
+    while frontier:
+        next_frontier: list = []
+        for node in frontier:
+            for neighbour in sorted(graph.neighbors(node)):
+                if neighbour not in assignment:
+                    assignment[neighbour] = assignment[node]
+                    parent[neighbour] = node
+                    depth[neighbour] = depth[node] + 1
+                    next_frontier.append(neighbour)
+        frontier = next_frontier
+
+    missing = set(graph.nodes) - set(assignment)
+    if missing:
+        # Cannot happen on a connected graph, but fail loudly rather than
+        # silently produce an incomplete decomposition.
+        raise RuntimeError(f"patching left nodes unassigned: {sorted(missing)[:5]}")
+
+    patches = []
+    for leader in leaders:
+        members = frozenset(v for v, owner in assignment.items() if owner == leader)
+        patches.append(
+            Patch(
+                leader=leader,
+                members=members,
+                parent={v: parent[v] for v in members},
+                depth={v: depth[v] for v in members},
+            )
+        )
+    return PatchDecomposition(
+        patches=tuple(patches), radius=radius, mis_rounds=mis_result.rounds
+    )

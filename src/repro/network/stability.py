@@ -1,0 +1,107 @@
+"""Stability measures for dynamic graph sequences.
+
+The paper works with two related notions:
+
+* **T-stability** (the paper's own, stronger requirement, Section 8): the
+  entire topology is unchanged within every block of ``T`` consecutive
+  rounds.
+* **T-interval connectivity** (Kuhn et al.): for every window of ``T``
+  consecutive rounds there exists a connected spanning subgraph whose edges
+  are present in *all* rounds of the window.
+
+This module provides checkers for both, plus a measurement helper that
+reports the largest ``T`` for which a recorded topology sequence satisfies
+each property.  The checkers are used by property tests to confirm that the
+:class:`~repro.network.adversary.TStableAdversary` wrapper really produces
+T-stable sequences, and by the experiment harness to sanity-check recorded
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+__all__ = [
+    "is_t_stable",
+    "is_t_interval_connected",
+    "max_stability",
+    "max_interval_connectivity",
+    "stable_intersection",
+]
+
+
+def _edge_set(graph: nx.Graph) -> frozenset:
+    return frozenset(frozenset(edge) for edge in graph.edges)
+
+
+def is_t_stable(topologies: Sequence[nx.Graph], stability: int) -> bool:
+    """True iff the sequence is T-stable for ``T = stability``.
+
+    The blocks are aligned at round 0, matching how the simulator applies
+    :class:`TStableAdversary`: rounds ``[iT, (i+1)T)`` share one topology.
+    """
+    if stability < 1:
+        raise ValueError(f"stability must be >= 1, got {stability}")
+    for block_start in range(0, len(topologies), stability):
+        block = topologies[block_start : block_start + stability]
+        if not block:
+            continue
+        reference = _edge_set(block[0])
+        if any(_edge_set(g) != reference for g in block[1:]):
+            return False
+    return True
+
+
+def stable_intersection(topologies: Sequence[nx.Graph]) -> nx.Graph:
+    """The graph of edges present in *every* topology of the sequence."""
+    if not topologies:
+        raise ValueError("need at least one topology")
+    nodes = list(topologies[0].nodes)
+    common = _edge_set(topologies[0])
+    for graph in topologies[1:]:
+        common &= _edge_set(graph)
+    out = nx.Graph()
+    out.add_nodes_from(nodes)
+    out.add_edges_from(tuple(edge) for edge in common)
+    return out
+
+
+def is_t_interval_connected(topologies: Sequence[nx.Graph], interval: int) -> bool:
+    """True iff every window of ``interval`` rounds has a common connected spanning subgraph."""
+    if interval < 1:
+        raise ValueError(f"interval must be >= 1, got {interval}")
+    if not topologies:
+        return True
+    n = topologies[0].number_of_nodes()
+    for start in range(0, len(topologies) - interval + 1):
+        window = topologies[start : start + interval]
+        intersection = stable_intersection(window)
+        if n > 1 and not nx.is_connected(intersection):
+            return False
+    return True
+
+
+def max_stability(topologies: Sequence[nx.Graph]) -> int:
+    """Largest ``T`` such that the sequence is T-stable (aligned blocks)."""
+    if not topologies:
+        return 0
+    best = 1
+    for candidate in range(2, len(topologies) + 1):
+        if is_t_stable(topologies, candidate):
+            best = candidate
+    return best
+
+
+def max_interval_connectivity(topologies: Sequence[nx.Graph]) -> int:
+    """Largest ``T`` such that the sequence is T-interval connected."""
+    if not topologies:
+        return 0
+    best = 0
+    for candidate in range(1, len(topologies) + 1):
+        if is_t_interval_connected(topologies, candidate):
+            best = candidate
+        else:
+            break
+    return best

@@ -1,0 +1,29 @@
+"""Simulation engine: round executor, metrics, experiment harness."""
+
+from .experiments import (
+    Measurement,
+    SweepPoint,
+    fit_power_law,
+    format_table,
+    measure,
+    ratio_table,
+    standard_instance,
+    sweep,
+)
+from .metrics import RunMetrics
+from .runner import RunResult, build_nodes, run_dissemination
+
+__all__ = [
+    "Measurement",
+    "RunMetrics",
+    "RunResult",
+    "SweepPoint",
+    "build_nodes",
+    "fit_power_law",
+    "format_table",
+    "measure",
+    "ratio_table",
+    "run_dissemination",
+    "standard_instance",
+    "sweep",
+]

@@ -1,0 +1,188 @@
+"""Experiment harness: repeated runs, parameter sweeps, scaling fits.
+
+The paper's claims are asymptotic; the benchmarks validate them by sweeping
+a parameter (``n``, ``b``, ``T``, ...), averaging completion rounds over a
+few seeds, and fitting power laws / comparing ratios.  This module holds
+the shared machinery so each benchmark file stays declarative.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..algorithms.base import ProtocolConfig, ProtocolFactory
+from ..network.adversary import Adversary
+from ..tokens.message import MessageBudget
+from ..tokens.token import TokenPlacement, make_tokens, one_token_per_node, place_tokens
+from .runner import RunResult, run_dissemination
+
+__all__ = [
+    "Measurement",
+    "SweepPoint",
+    "measure",
+    "standard_instance",
+    "sweep",
+    "fit_power_law",
+    "ratio_table",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Aggregated completion statistics over repeated seeded runs."""
+
+    rounds_mean: float
+    rounds_std: float
+    rounds_min: int
+    rounds_max: int
+    completed_fraction: float
+    bits_mean: float
+    repetitions: int
+
+    @property
+    def all_completed(self) -> bool:
+        """True iff every repetition disseminated all tokens."""
+        return self.completed_fraction >= 1.0
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    parameters: Mapping[str, object]
+    measurement: Measurement
+
+
+def standard_instance(
+    n: int,
+    k: int | None,
+    token_bits: int,
+    seed: int = 0,
+    copies: int = 1,
+) -> TokenPlacement:
+    """The canonical problem instance used across benchmarks.
+
+    ``k = None`` (or ``k == n``) gives the paper's favourite case of one
+    token per node; otherwise ``k`` tokens are created at the first ``k``
+    nodes (an adversarial concentration that stresses gathering).
+    """
+    rng = np.random.default_rng(seed)
+    if k is None or k == n:
+        return one_token_per_node(n, token_bits, rng)
+    k = min(k, n)
+    tokens = make_tokens(k, token_bits, rng, origins=list(range(k)))
+    return place_tokens(tokens, n, rng, copies=copies, at_origin=True)
+
+
+def measure(
+    factory: ProtocolFactory,
+    config: ProtocolConfig,
+    placement: TokenPlacement,
+    adversary_factory: Callable[[], Adversary],
+    *,
+    repetitions: int = 3,
+    base_seed: int = 1,
+    max_rounds: int | None = None,
+) -> Measurement:
+    """Run ``repetitions`` seeded executions and aggregate completion rounds."""
+    rounds: list[int] = []
+    bits: list[int] = []
+    completed = 0
+    for rep in range(repetitions):
+        result: RunResult = run_dissemination(
+            factory,
+            config,
+            placement,
+            adversary_factory(),
+            seed=base_seed + rep * 1009,
+            max_rounds=max_rounds,
+        )
+        rounds.append(result.rounds)
+        bits.append(result.metrics.total_message_bits)
+        if result.completed:
+            completed += 1
+    return Measurement(
+        rounds_mean=float(statistics.mean(rounds)),
+        rounds_std=float(statistics.pstdev(rounds)) if len(rounds) > 1 else 0.0,
+        rounds_min=min(rounds),
+        rounds_max=max(rounds),
+        completed_fraction=completed / repetitions,
+        bits_mean=float(statistics.mean(bits)),
+        repetitions=repetitions,
+    )
+
+
+def sweep(
+    points: Iterable[Mapping[str, object]],
+    runner: Callable[[Mapping[str, object]], Measurement],
+) -> list[SweepPoint]:
+    """Evaluate ``runner`` at every parameter point."""
+    results = []
+    for parameters in points:
+        results.append(SweepPoint(parameters=dict(parameters), measurement=runner(parameters)))
+    return results
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Fit ``y ~ c * x^alpha`` by least squares in log-log space.
+
+    Returns ``(alpha, c)``.  Used to check scaling exponents, e.g. that
+    token-forwarding rounds grow ~quadratically in ``n`` while coded rounds
+    grow ~quadratically/ log n, or that rounds fall ~quadratically in ``b``.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    alpha, log_c = np.polyfit(log_x, log_y, 1)
+    return float(alpha), float(math.exp(log_c))
+
+
+def ratio_table(
+    sweep_points: Sequence[SweepPoint],
+    baseline_points: Sequence[SweepPoint],
+) -> list[dict]:
+    """Combine two sweeps over the same parameters into speedup ratios."""
+    rows = []
+    for ours, base in zip(sweep_points, baseline_points):
+        if ours.parameters != base.parameters:
+            raise ValueError("sweeps are not aligned on the same parameter points")
+        speedup = (
+            base.measurement.rounds_mean / ours.measurement.rounds_mean
+            if ours.measurement.rounds_mean
+            else float("inf")
+        )
+        row = dict(ours.parameters)
+        row["rounds"] = ours.measurement.rounds_mean
+        row["baseline_rounds"] = base.measurement.rounds_mean
+        row["speedup"] = round(speedup, 2)
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as a fixed-width text table for bench output."""
+    if not rows:
+        return f"{title}\n(no data)"
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Metrics collected by the simulation runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Counters accumulated over one dissemination run.
+
+    Attributes
+    ----------
+    rounds_executed:
+        Total number of rounds the simulator ran.
+    completion_round:
+        First round (1-based count of completed rounds) after which every node
+        knew every token; ``None`` if the run hit its round limit first.
+    broadcasts:
+        Number of non-silent broadcasts performed.
+    silent_rounds:
+        Number of (node, round) pairs in which a node chose to send nothing.
+    total_message_bits:
+        Sum of the bit sizes of all broadcast messages.
+    max_message_bits:
+        Largest single message observed.
+    deliveries:
+        Total number of (message, receiver) deliveries.
+    useless_deliveries:
+        Deliveries that did not change the receiver's knowledge (a direct
+        measure of the "wasted broadcasts" the paper's Section 5.2 discusses);
+        only protocols that report knowledge growth make this meaningful.
+    progress:
+        Optional per-round record of the minimum / mean number of known
+        tokens across nodes (populated when progress tracking is enabled).
+    """
+
+    rounds_executed: int = 0
+    completion_round: int | None = None
+    broadcasts: int = 0
+    silent_rounds: int = 0
+    total_message_bits: int = 0
+    max_message_bits: int = 0
+    deliveries: int = 0
+    useless_deliveries: int = 0
+    progress: list[tuple[int, int, float]] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """True iff all nodes learned all tokens within the round limit."""
+        return self.completion_round is not None
+
+    @property
+    def average_message_bits(self) -> float:
+        """Mean size of a broadcast message."""
+        if self.broadcasts == 0:
+            return 0.0
+        return self.total_message_bits / self.broadcasts
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of deliveries that taught the receiver nothing."""
+        if self.deliveries == 0:
+            return 0.0
+        return self.useless_deliveries / self.deliveries
+
+    def record_broadcast(self, size_bits: int) -> None:
+        """Account one broadcast of the given size."""
+        self.broadcasts += 1
+        self.total_message_bits += size_bits
+        if size_bits > self.max_message_bits:
+            self.max_message_bits = size_bits
+
+    def record_silence(self) -> None:
+        """Account one node staying silent for one round."""
+        self.silent_rounds += 1
+
+    def summary(self) -> dict:
+        """A plain-dict summary convenient for printing in benchmarks."""
+        return {
+            "rounds": self.rounds_executed,
+            "completion_round": self.completion_round,
+            "completed": self.completed,
+            "broadcasts": self.broadcasts,
+            "avg_message_bits": round(self.average_message_bits, 1),
+            "max_message_bits": self.max_message_bits,
+            "waste_fraction": round(self.waste_fraction, 3),
+        }

@@ -1,0 +1,222 @@
+"""The synchronous round executor for the dynamic network model.
+
+One round (Section 4.1), for an adaptive adversary:
+
+1. each node's sanitised state is snapshotted;
+2. the adversary fixes the connected topology ``G(t)`` from the snapshot;
+3. each node composes its O(b)-bit broadcast message *without knowing its
+   neighbours*;
+4. every node receives the messages of its ``G(t)``-neighbours.
+
+Omniscient adversaries (``sees_messages``) are instead shown the composed
+messages before choosing the topology, which models "knowing all the
+randomness in advance" operationally (Section 6).
+
+The runner also enforces the message budget, tracks metrics, detects
+completion (every node can output every token), and verifies payload
+correctness at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..algorithms.base import ProtocolConfig, ProtocolFactory, ProtocolNode
+from ..network.adversary import Adversary
+from ..network.graphs import validate_topology
+from ..tokens.message import Message
+from ..tokens.token import TokenPlacement
+from .metrics import RunMetrics
+
+__all__ = ["RunResult", "run_dissemination", "build_nodes"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one dissemination run.
+
+    Attributes
+    ----------
+    metrics:
+        Aggregated counters (rounds, bits, completion round, ...).
+    nodes:
+        The final node objects (useful for post-hoc inspection in tests).
+    correct:
+        True iff at completion every node output every token with the right
+        payload.  ``None`` when the run did not complete within its limit.
+    topologies:
+        The recorded topology sequence (only if ``record_topologies``).
+    """
+
+    metrics: RunMetrics
+    nodes: list[ProtocolNode]
+    correct: bool | None
+    topologies: list[nx.Graph] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        """Rounds until completion (falls back to rounds executed)."""
+        if self.metrics.completion_round is not None:
+            return self.metrics.completion_round
+        return self.metrics.rounds_executed
+
+    @property
+    def completed(self) -> bool:
+        """True iff the run disseminated everything within its round limit."""
+        return self.metrics.completed
+
+
+def build_nodes(
+    factory: ProtocolFactory,
+    config: ProtocolConfig,
+    placement: TokenPlacement,
+    rng: np.random.Generator,
+) -> list[ProtocolNode]:
+    """Instantiate and set up one protocol node per network participant."""
+    nodes: list[ProtocolNode] = []
+    for uid in range(config.n):
+        node_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        node = factory(uid, config, node_rng)
+        node.setup(placement.tokens_at(uid))
+        nodes.append(node)
+    return nodes
+
+
+def _knowledge_fingerprint(node: ProtocolNode) -> tuple[int, int]:
+    return (len(node.known_token_ids()), node.coded_rank())
+
+
+def _check_correctness(nodes: Sequence[ProtocolNode], placement: TokenPlacement) -> bool:
+    expected = placement.by_id()
+    for node in nodes:
+        decoded = node.decoded_tokens()
+        for token_id, token in expected.items():
+            got = decoded.get(token_id)
+            if got is None or got.payload != token.payload:
+                return False
+    return True
+
+
+def run_dissemination(
+    factory: ProtocolFactory,
+    config: ProtocolConfig,
+    placement: TokenPlacement,
+    adversary: Adversary,
+    *,
+    seed: int = 0,
+    max_rounds: int | None = None,
+    stop_at_completion: bool = True,
+    record_topologies: bool = False,
+    track_progress: bool = False,
+) -> RunResult:
+    """Run one complete dissemination execution and return its result.
+
+    Parameters
+    ----------
+    factory:
+        Builds a protocol node given (uid, config, rng).
+    config:
+        Shared problem parameters.
+    placement:
+        The adversarially-chosen initial token placement.
+    adversary:
+        The topology-controlling adversary.
+    seed:
+        Master seed; node randomness and any runner randomness derive from it.
+    max_rounds:
+        Hard round limit; defaults to a generous multiple of the worst
+        baseline bound ``n * k`` (so non-terminating bugs surface as a
+        non-completed run rather than a hang).
+    stop_at_completion:
+        Stop as soon as every node knows every token (the usual measurement
+        mode); set False to keep running until nodes terminate locally.
+    record_topologies:
+        Keep the per-round graphs (for stability checks in tests).
+    track_progress:
+        Record per-round (min, mean) known-token counts in the metrics.
+    """
+    adversary.reset()
+    rng = np.random.default_rng(seed)
+    nodes = build_nodes(factory, config, placement, rng)
+    all_token_ids = placement.all_ids()
+    metrics = RunMetrics()
+    topologies: list[nx.Graph] = []
+
+    if max_rounds is None:
+        max_rounds = 20 * config.n * max(1, config.k) + 200
+
+    # Optional shared coordinator hook (see algorithms/tstable.py): a single
+    # object shared by all nodes that may observe the round topology.  This is
+    # the documented structured-simulation shortcut for the patch-sharing
+    # algorithm; ordinary protocols have no coordinator.
+    coordinator = getattr(nodes[0], "shared_coordinator", None) if nodes else None
+
+    for round_index in range(max_rounds):
+        states = [node.state_view() for node in nodes]
+
+        if adversary.sees_messages:
+            outgoing = [node.compose(round_index) for node in nodes]
+            graph = adversary.choose_topology(round_index, config.n, states, outgoing)
+        else:
+            graph = adversary.choose_topology(round_index, config.n, states)
+            if coordinator is not None:
+                coordinator.on_topology(round_index, graph, nodes)
+            outgoing = [node.compose(round_index) for node in nodes]
+        validate_topology(graph, config.n)
+        if adversary.sees_messages and coordinator is not None:
+            coordinator.on_topology(round_index, graph, nodes)
+        if record_topologies:
+            topologies.append(graph)
+
+        # Budget enforcement and broadcast accounting.
+        for message in outgoing:
+            if message is None:
+                metrics.record_silence()
+                continue
+            if not isinstance(message, Message):
+                raise TypeError(
+                    f"protocol composed a non-Message object: {type(message)!r}"
+                )
+            config.budget.check(message)
+            metrics.record_broadcast(message.size_bits)
+
+        # Delivery: each node receives its neighbours' messages.
+        fingerprints = [_knowledge_fingerprint(node) for node in nodes]
+        for uid, node in enumerate(nodes):
+            inbox = [
+                outgoing[neighbour]
+                for neighbour in graph.neighbors(uid)
+                if outgoing[neighbour] is not None
+            ]
+            node.deliver(round_index, inbox)
+            metrics.deliveries += len(inbox)
+            if inbox and _knowledge_fingerprint(node) == fingerprints[uid]:
+                metrics.useless_deliveries += len(inbox)
+
+        if coordinator is not None:
+            coordinator.after_round(round_index, graph, nodes)
+
+        metrics.rounds_executed = round_index + 1
+
+        if track_progress:
+            counts = [len(node.known_token_ids()) for node in nodes]
+            metrics.progress.append(
+                (round_index + 1, min(counts), float(np.mean(counts)))
+            )
+
+        if metrics.completion_round is None:
+            if all(all_token_ids <= node.known_token_ids() for node in nodes):
+                metrics.completion_round = round_index + 1
+
+        if metrics.completion_round is not None:
+            if stop_at_completion or all(node.finished() for node in nodes):
+                break
+
+    correct: bool | None = None
+    if metrics.completion_round is not None:
+        correct = _check_correctness(nodes, placement)
+    return RunResult(metrics=metrics, nodes=nodes, correct=correct, topologies=topologies)

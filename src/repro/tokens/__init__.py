@@ -1,0 +1,35 @@
+"""Tokens, placements and message envelopes with bit-size accounting."""
+
+from .message import (
+    CodedMessage,
+    ControlMessage,
+    Message,
+    MessageBudget,
+    MessageSizeExceeded,
+    TokenForwardMessage,
+    uid_bits,
+)
+from .token import (
+    Token,
+    TokenId,
+    TokenPlacement,
+    make_tokens,
+    one_token_per_node,
+    place_tokens,
+)
+
+__all__ = [
+    "CodedMessage",
+    "ControlMessage",
+    "Message",
+    "MessageBudget",
+    "MessageSizeExceeded",
+    "Token",
+    "TokenForwardMessage",
+    "TokenId",
+    "TokenPlacement",
+    "make_tokens",
+    "one_token_per_node",
+    "place_tokens",
+    "uid_bits",
+]

@@ -1,0 +1,206 @@
+"""Message envelopes with explicit bit-size accounting.
+
+Accounting for message size is the heart of the paper's contribution
+(Sections 2.1 and 3): the coefficient header of network coding is *not*
+free, and whether coding wins depends on how header, payload and control
+information fit into the ``O(b)``-bit per-round message budget.
+
+Every message a protocol sends is therefore wrapped in an envelope that
+computes its size in bits from its actual content.  The simulator enforces
+the budget: a protocol that tries to send more than ``slack * b`` bits in
+one round raises :class:`MessageSizeExceeded` (the slack constant reflects
+the ``O(b)`` in the model statement and defaults to a small constant).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .token import Token, TokenId
+
+__all__ = [
+    "MessageSizeExceeded",
+    "MessageBudget",
+    "Message",
+    "TokenForwardMessage",
+    "CodedMessage",
+    "ControlMessage",
+    "uid_bits",
+]
+
+
+class MessageSizeExceeded(RuntimeError):
+    """Raised when a protocol message exceeds the per-round bit budget."""
+
+
+def uid_bits(n: int) -> int:
+    """Bits needed for a node UID in an ``n``-node network (``O(log n)``)."""
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+@dataclass(frozen=True)
+class MessageBudget:
+    """The per-round message budget ``O(b)``.
+
+    Attributes
+    ----------
+    b:
+        The nominal message size parameter (must satisfy ``b >= log n``).
+    slack:
+        Constant factor capturing the ``O(·)`` — messages up to
+        ``slack * b`` bits are legal.
+    """
+
+    b: int
+    slack: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.b < 1:
+            raise ValueError(f"message size b must be >= 1, got {self.b}")
+        if self.slack < 1:
+            raise ValueError(f"slack must be >= 1, got {self.slack}")
+
+    @property
+    def limit_bits(self) -> int:
+        """The hard per-message bit limit."""
+        return int(math.floor(self.slack * self.b))
+
+    def check(self, message: "Message") -> None:
+        """Raise :class:`MessageSizeExceeded` if the message is over budget."""
+        size = message.size_bits
+        if size > self.limit_bits:
+            raise MessageSizeExceeded(
+                f"{type(message).__name__} is {size} bits, exceeding the "
+                f"budget of {self.limit_bits} bits (b={self.b}, slack={self.slack})"
+            )
+
+    def validate_parameters(self, n: int) -> None:
+        """Check the model requirement ``b >= log n``."""
+        if self.b < uid_bits(n):
+            raise ValueError(
+                f"message size b={self.b} violates the model requirement "
+                f"b >= log n = {uid_bits(n)} for n={n}"
+            )
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages.
+
+    Subclasses must provide :attr:`size_bits`.  ``sender`` is filled in by
+    the simulator for bookkeeping; the *receiving protocol logic* must not
+    use it in any way that violates anonymity assumptions beyond what the
+    paper allows (neighbours' messages are received without pre-knowledge of
+    who the neighbours would be; sender identity inside a received message
+    is legitimate information a node may include about itself).
+    """
+
+    sender: int
+
+    @property
+    def size_bits(self) -> int:
+        """Size of the message in bits."""
+        return 0
+
+
+@dataclass(frozen=True)
+class TokenForwardMessage(Message):
+    """A token-forwarding message: one or more (id, payload) token copies."""
+
+    tokens: tuple[Token, ...] = ()
+
+    @property
+    def size_bits(self) -> int:
+        total = 0
+        for token in self.tokens:
+            total += token.token_id.bits + token.size_bits
+        return total
+
+
+@dataclass(frozen=True)
+class CodedMessage(Message):
+    """A random-linear-network-coding message.
+
+    Attributes
+    ----------
+    coefficients:
+        The coefficient header: one ``F_q`` symbol per coded dimension
+        (``k`` of them), costing ``k * ceil(lg q)`` bits.
+    payload:
+        The coded payload symbols (``ceil(d / lg q)`` of them).
+    field_order:
+        The field size ``q``.
+    generation:
+        Identifier of the coding generation / epoch this message belongs to
+        (e.g. which block of gathered tokens is being broadcast).  Costs
+        ``O(log n)`` bits.
+    dimension_ids:
+        Optional explicit identifiers of the coded dimensions when indices
+        are not globally agreed (costed explicitly when present).
+    """
+
+    coefficients: tuple[int, ...] = ()
+    payload: tuple[int, ...] = ()
+    field_order: int = 2
+    generation: int = 0
+    dimension_ids: tuple[TokenId, ...] | None = None
+
+    @property
+    def symbol_bits(self) -> int:
+        """Bits per ``F_q`` symbol."""
+        return max(1, math.ceil(math.log2(self.field_order)))
+
+    @property
+    def header_bits(self) -> int:
+        """Cost of the coefficient header (the paper's coding overhead)."""
+        bits = len(self.coefficients) * self.symbol_bits
+        if self.dimension_ids is not None:
+            bits += sum(tid.bits for tid in self.dimension_ids)
+        return bits
+
+    @property
+    def payload_bits(self) -> int:
+        """Cost of the coded payload."""
+        return len(self.payload) * self.symbol_bits
+
+    @property
+    def size_bits(self) -> int:
+        generation_bits = max(1, int(self.generation).bit_length())
+        return self.header_bits + self.payload_bits + generation_bits
+
+
+@dataclass(frozen=True)
+class ControlMessage(Message):
+    """A small control-plane message (floods of ids, priorities, counters...).
+
+    ``fields`` maps a short field name to either an integer (costed at its
+    bit length, minimum 1), a :class:`TokenId` (costed at its id size), or a
+    sequence of either (costed as the sum).  Field names are part of the
+    protocol's finite alphabet and are costed at a constant 4 bits each.
+    """
+
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    @staticmethod
+    def _value_bits(value: object) -> int:
+        if isinstance(value, TokenId):
+            return value.bits
+        if isinstance(value, Token):
+            return value.token_id.bits + value.size_bits
+        if isinstance(value, bool):
+            return 1
+        if isinstance(value, int):
+            return max(1, int(value).bit_length())
+        if isinstance(value, (tuple, list)):
+            return sum(ControlMessage._value_bits(v) for v in value)
+        raise TypeError(f"cannot account bits for field value of type {type(value)!r}")
+
+    @property
+    def size_bits(self) -> int:
+        total = 0
+        for name, value in self.fields.items():
+            total += 4  # field tag
+            total += self._value_bits(value)
+        return total

@@ -1,0 +1,195 @@
+"""Tests for the token-forwarding baselines and the random-forward primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    GatherState,
+    PipelinedTokenForwardingNode,
+    RandomForwardNode,
+    TokenForwardingNode,
+    tokens_per_message,
+)
+from repro.network import (
+    BottleneckAdversary,
+    PathShuffleAdversary,
+    RandomConnectedAdversary,
+    StaticAdversary,
+    TStableAdversary,
+    path_graph,
+)
+from repro.simulation import build_nodes, run_dissemination
+from repro.tokens import MessageBudget, one_token_per_node
+from repro.analysis import token_forwarding_rounds
+from tests.conftest import make_config
+
+
+class TestTokensPerMessage:
+    def test_scales_with_budget(self):
+        small = make_config(16, d=8, b=32)
+        large = make_config(16, d=8, b=256)
+        assert tokens_per_message(large) > tokens_per_message(small)
+
+    def test_at_least_one(self):
+        config = make_config(16, d=16, b=16)
+        assert tokens_per_message(config) >= 1
+
+
+class TestFloodingTokenForwarding:
+    @pytest.mark.parametrize("adversary_factory", [
+        lambda: RandomConnectedAdversary(seed=1),
+        lambda: PathShuffleAdversary(seed=2),
+        lambda: BottleneckAdversary(),
+        lambda: StaticAdversary(path_graph),
+    ])
+    def test_completes_and_correct_under_every_adversary(self, rng, adversary_factory):
+        config = make_config(10)
+        placement = one_token_per_node(10, 8, rng)
+        result = run_dissemination(TokenForwardingNode, config, placement, adversary_factory())
+        assert result.completed and result.correct
+
+    def test_messages_respect_budget(self, rng):
+        config = make_config(12, d=8, b=40)
+        placement = one_token_per_node(12, 8, rng)
+        result = run_dissemination(
+            TokenForwardingNode, config, placement, RandomConnectedAdversary(seed=3)
+        )
+        assert result.metrics.max_message_bits <= config.budget.limit_bits
+
+    def test_round_count_close_to_theory_on_bottleneck(self, rng):
+        # Against the adaptive bottleneck adversary the phase-based algorithm
+        # should be within a small constant of the nkd/b + n bound.
+        n = 12
+        config = make_config(n, d=8, b=n + 16)
+        placement = one_token_per_node(n, 8, rng)
+        result = run_dissemination(TokenForwardingNode, config, placement, BottleneckAdversary())
+        predicted = token_forwarding_rounds(n, n, 8, n + 16)
+        assert result.rounds <= 6 * predicted
+
+    def test_larger_messages_fewer_rounds(self, rng):
+        n = 12
+        placement = one_token_per_node(n, 8, rng)
+        small = run_dissemination(
+            TokenForwardingNode, make_config(n, d=8, b=32), placement, BottleneckAdversary()
+        )
+        large = run_dissemination(
+            TokenForwardingNode, make_config(n, d=8, b=128), placement, BottleneckAdversary()
+        )
+        assert large.rounds < small.rounds
+
+    def test_delivered_sets_consistent(self, rng):
+        # After completion, every node has marked the same tokens delivered.
+        config = make_config(8)
+        placement = one_token_per_node(8, 8, rng)
+        result = run_dissemination(
+            TokenForwardingNode, config, placement, RandomConnectedAdversary(seed=4),
+            stop_at_completion=False, max_rounds=8 * 10,
+        )
+        delivered_sets = {frozenset(node.delivered) for node in result.nodes}
+        assert len(delivered_sets) == 1
+
+    def test_knowledge_monotone(self, rng):
+        config = make_config(8)
+        placement = one_token_per_node(8, 8, rng)
+        result = run_dissemination(
+            TokenForwardingNode, config, placement, RandomConnectedAdversary(seed=5),
+            track_progress=True,
+        )
+        means = [entry[2] for entry in result.metrics.progress]
+        assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+
+
+class TestPipelinedForwarding:
+    def test_completes_on_static_graph_quickly(self, rng):
+        n = 16
+        config = make_config(n, d=8, b=24)
+        placement = one_token_per_node(n, 8, rng)
+        result = run_dissemination(
+            PipelinedTokenForwardingNode, config, placement, StaticAdversary(path_graph)
+        )
+        assert result.completed and result.correct
+        # Pipelined flooding on a static path: O(n + k d / b), far below n*k.
+        assert result.rounds <= 6 * n
+
+    def test_completes_on_tstable_network(self, rng):
+        n = 12
+        config = make_config(n, stability=4)
+        placement = one_token_per_node(n, 8, rng)
+        adversary = TStableAdversary(RandomConnectedAdversary(seed=3), stability=4)
+        result = run_dissemination(PipelinedTokenForwardingNode, config, placement, adversary)
+        assert result.completed and result.correct
+
+    def test_stability_helps(self, rng):
+        n = 16
+        placement = one_token_per_node(n, 8, rng)
+        fully_dynamic = run_dissemination(
+            PipelinedTokenForwardingNode,
+            make_config(n, d=8, b=24, stability=1),
+            placement,
+            PathShuffleAdversary(seed=9),
+        )
+        stable = run_dissemination(
+            PipelinedTokenForwardingNode,
+            make_config(n, d=8, b=24, stability=8),
+            placement,
+            TStableAdversary(PathShuffleAdversary(seed=9), stability=8),
+        )
+        assert stable.rounds <= fully_dynamic.rounds
+
+
+class TestRandomForward:
+    def test_completes_eventually(self, rng):
+        config = make_config(10)
+        placement = one_token_per_node(10, 8, rng)
+        result = run_dissemination(
+            RandomForwardNode, config, placement, RandomConnectedAdversary(seed=2)
+        )
+        assert result.completed and result.correct
+
+    def test_waste_grows_toward_the_end(self, rng):
+        # Section 5.2: most forwarding broadcasts are wasted in the end phase.
+        config = make_config(14)
+        placement = one_token_per_node(14, 8, rng)
+        result = run_dissemination(
+            RandomForwardNode, config, placement, BottleneckAdversary(),
+        )
+        assert result.metrics.waste_fraction > 0.05
+
+    def test_gather_state_lemma_7_2_gathering(self, rng):
+        # After ~n rounds of random forwarding, some node holds many tokens
+        # (Lemma 7.2: at least sqrt(bk/d) of them, or all).
+        n = 20
+        config = make_config(n, d=8, b=32)
+        placement = one_token_per_node(n, 8, rng)
+        nodes = build_nodes(RandomForwardNode, config, placement, rng)
+        adversary = PathShuffleAdversary(seed=11)
+        from repro.simulation.runner import run_dissemination as run
+
+        result = run(
+            RandomForwardNode, config, placement, adversary,
+            max_rounds=n, stop_at_completion=False,
+        )
+        best = max(len(node.known_token_ids()) for node in result.nodes)
+        bound = np.sqrt(config.b * config.k / config.d)
+        assert best >= min(config.k, int(bound))
+
+    def test_gather_state_leader_election(self, rng):
+        # Drive a GatherState pair directly: after flooding, both agree on the
+        # node with the larger count.
+        config = make_config(4)
+        placement = one_token_per_node(4, 8, rng)
+        nodes = build_nodes(RandomForwardNode, config, placement, rng)
+        # Give node 2 extra knowledge.
+        for token in placement.tokens:
+            nodes[2]._learn_token(token)
+        gathers = [GatherState(node, forward_rounds=1, flood_rounds=4) for node in nodes]
+        for phase_round in range(5):
+            messages = [g.compose(phase_round) for g in gathers]
+            for i, g in enumerate(gathers):
+                inbox = [m for j, m in enumerate(messages) if m is not None and j != i]
+                g.deliver(phase_round, inbox)
+        leaders = {g.elected_leader() for g in gathers}
+        assert leaders == {2}
+        assert all(g.elected_count() == 4 for g in gathers)

@@ -1,0 +1,227 @@
+"""Unit tests for coding generations, packets cost model and derandomization."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    DeterministicSchedule,
+    Generation,
+    GenerationPlan,
+    coded_message_bits,
+    coded_payload_bits,
+    coding_header_bits,
+    deterministic_header_bits,
+    failure_probability_log2,
+    max_dimensions_for_budget,
+    omniscient_field_order,
+    plan_generation,
+    union_bound_holds,
+    union_bound_margin_log2,
+    witness_count_log2,
+    witness_description_bits,
+)
+from repro.gf import is_prime
+
+
+class TestGeneration:
+    def test_basic_properties(self):
+        gen = Generation(k=5, payload_bits=16, field_order=2)
+        assert gen.payload_symbols == 16
+        assert gen.vector_length == 21
+        assert gen.message_bits == 21  # k lg q + d with q = 2
+
+    def test_larger_field_properties(self):
+        gen = Generation(k=4, payload_bits=16, field_order=257)
+        assert gen.payload_symbols == 2
+        assert gen.message_bits == (4 + 2) * 9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Generation(k=0, payload_bits=8)
+        with pytest.raises(ValueError):
+            Generation(k=1, payload_bits=-1)
+
+    def test_source_vector_structure(self):
+        gen = Generation(k=3, payload_bits=4, field_order=2)
+        v = gen.source_vector(1, 0b1010)
+        assert v[:3].tolist() == [0, 1, 0]
+        assert v[3:].tolist() == [0, 1, 0, 1]  # LSB first
+
+    def test_source_vector_bad_index(self):
+        gen = Generation(k=3, payload_bits=4)
+        with pytest.raises(IndexError):
+            gen.source_vector(3, 0)
+
+    def test_message_vector_roundtrip(self):
+        gen = Generation(k=4, payload_bits=8, field_order=2, generation_id=7)
+        v = gen.source_vector(2, 0xA5)
+        msg = gen.message_from_vector(9, v)
+        assert msg.sender == 9
+        assert msg.generation == 7
+        back = gen.vector_from_message(msg)
+        assert back.tolist() == v.tolist()
+
+    def test_vector_from_foreign_message_rejected(self):
+        gen2 = Generation(k=4, payload_bits=8, field_order=2)
+        gen3 = Generation(k=4, payload_bits=8, field_order=3)
+        msg = gen3.message_from_vector(0, gen3.source_vector(0, 5))
+        with pytest.raises(ValueError):
+            gen2.vector_from_message(msg)
+
+
+class TestGenerationState:
+    def test_end_to_end_decode(self, rng):
+        gen = Generation(k=3, payload_bits=8, field_order=2)
+        payloads = [17, 255, 0]
+        sources = [gen.new_state() for _ in range(3)]
+        for i, (state, payload) in enumerate(zip(sources, payloads)):
+            assert state.add_source(i, payload)
+        sink = gen.new_state()
+        for _ in range(60):
+            for state in sources:
+                msg = state.compose(0, rng)
+                if msg is not None:
+                    sink.receive(msg)
+            if sink.can_decode():
+                break
+        assert sink.can_decode()
+        assert sink.decode_payloads() == payloads
+
+    def test_compose_empty_state_is_silent(self, rng):
+        gen = Generation(k=2, payload_bits=4)
+        assert gen.new_state().compose(0, rng) is None
+
+    def test_receive_innovative_flag(self, rng):
+        gen = Generation(k=2, payload_bits=4)
+        a = gen.new_state()
+        a.add_source(0, 3)
+        b = gen.new_state()
+        msg = a.compose(1, rng)
+        assert b.receive(msg) is True
+        assert b.receive(msg) is False
+
+    def test_compose_with_coefficients(self):
+        gen = Generation(k=2, payload_bits=4)
+        state = gen.new_state()
+        state.add_source(0, 1)
+        state.add_source(1, 2)
+        msg = state.compose_with_coefficients(0, [1, 1])
+        assert msg is not None
+        assert len(msg.coefficients) == 2
+
+    def test_senses_direction(self):
+        gen = Generation(k=3, payload_bits=2)
+        state = gen.new_state()
+        state.add_source(1, 0)
+        assert state.senses([0, 1, 0])
+        assert not state.senses([1, 0, 0])
+
+    def test_rank_and_coefficient_rank(self):
+        gen = Generation(k=2, payload_bits=4)
+        state = gen.new_state()
+        state.add_source(0, 9)
+        assert state.rank == 1
+        assert state.coefficient_rank() == 1
+        assert not state.can_decode()
+
+
+class TestPacketCostModel:
+    def test_header_and_payload_bits(self):
+        assert coding_header_bits(10, 2) == 10
+        assert coding_header_bits(10, 257) == 90
+        assert coded_payload_bits(16, 2) == 16
+        assert coded_payload_bits(16, 257) == 18  # 2 symbols * 9 bits
+
+    def test_message_bits_lemma_5_3(self):
+        # Lemma 5.3: messages of size k lg q + d.
+        assert coded_message_bits(20, 8, 2) == 28
+
+    def test_max_dimensions_for_budget(self):
+        assert max_dimensions_for_budget(100, 20, 2) == 80
+        assert max_dimensions_for_budget(20, 20, 2) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            coding_header_bits(-1, 2)
+        with pytest.raises(ValueError):
+            coded_payload_bits(-1, 2)
+        with pytest.raises(ValueError):
+            max_dimensions_for_budget(0, 8, 2)
+
+    def test_plan_generation_half_split(self):
+        plan = plan_generation(num_tokens=1000, token_bits=8, budget_bits=256, q=2)
+        assert isinstance(plan, GenerationPlan)
+        # Half the budget for one block of tokens.
+        assert plan.tokens_per_block == 16
+        assert plan.block_bits == 128
+        assert plan.num_blocks >= 1
+        assert plan.message_bits <= 2 * 256
+
+    def test_plan_generation_few_tokens(self):
+        plan = plan_generation(num_tokens=3, token_bits=8, budget_bits=256, q=2)
+        assert plan.tokens_covered >= 3
+
+    def test_plan_generation_rejects_tiny_budget(self):
+        with pytest.raises(ValueError):
+            plan_generation(num_tokens=5, token_bits=64, budget_bits=32)
+
+
+class TestDerandomization:
+    def test_omniscient_field_order_is_prime_and_large(self):
+        q = omniscient_field_order(8, 3)
+        assert is_prime(q)
+        assert q >= 8**3
+
+    def test_field_order_monotone_in_k(self):
+        assert omniscient_field_order(10, 4) >= omniscient_field_order(10, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            omniscient_field_order(1, 1)
+        with pytest.raises(ValueError):
+            omniscient_field_order(4, 0)
+
+    def test_deterministic_header_quadratic_in_k(self):
+        # k^2 log n scaling: doubling k should roughly quadruple the header.
+        small = deterministic_header_bits(16, 4)
+        large = deterministic_header_bits(16, 8)
+        assert large >= 3.5 * small
+
+    def test_witness_counting_quantities(self):
+        n, k = 12, 4
+        q = omniscient_field_order(n, k)
+        assert witness_description_bits(n, k) > 0
+        assert witness_count_log2(n, k) == witness_description_bits(n, k)
+        assert failure_probability_log2(n, q) < 0
+
+    def test_union_bound_holds_with_theorem_field_size(self):
+        # Theorem 6.1: q = n^{Omega(k)} makes the union bound go through.
+        for n, k in [(8, 2), (16, 3), (32, 4)]:
+            q = omniscient_field_order(n, k)
+            assert union_bound_holds(n, k, q)
+            assert union_bound_margin_log2(n, k, q) < 0
+
+    def test_union_bound_fails_for_tiny_field(self):
+        assert not union_bound_holds(16, 4, 2)
+
+    def test_schedule_determinism_and_range(self):
+        schedule = DeterministicSchedule(field_order=101, seed=3)
+        a = schedule.coefficients(uid=5, round_index=7, count=10)
+        b = schedule.coefficients(uid=5, round_index=7, count=10)
+        assert a == b
+        assert all(0 <= c < 101 for c in a)
+
+    def test_schedule_varies_with_inputs(self):
+        schedule = DeterministicSchedule(field_order=101, seed=3)
+        assert schedule.coefficient(0, 0, 0) != schedule.coefficient(1, 0, 0) or \
+            schedule.coefficient(0, 1, 0) != schedule.coefficient(0, 0, 0)
+
+    def test_schedule_matrix_shape(self):
+        schedule = DeterministicSchedule(field_order=11, seed=0)
+        m = schedule.as_matrix(uids=3, rounds=4, slots=2)
+        assert m.shape == (3, 4, 2)
+        assert all(0 <= int(x) < 11 for x in m.ravel().tolist())

@@ -1,0 +1,203 @@
+"""Unit tests for incremental subspace maintenance (repro.coding.subspace)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import Subspace
+from repro.gf import GF, GF2
+
+
+@pytest.fixture(params=[2, 5])
+def field(request):
+    return GF(request.param)
+
+
+class TestInsertion:
+    def test_empty_subspace(self, field):
+        s = Subspace(field, 6)
+        assert s.rank == 0
+        assert s.is_empty
+
+    def test_insert_innovative_increases_rank(self, field):
+        s = Subspace(field, 4)
+        assert s.insert([1, 0, 0, 0])
+        assert s.insert([0, 1, 0, 0])
+        assert s.rank == 2
+
+    def test_insert_dependent_vector(self, field):
+        s = Subspace(field, 4)
+        s.insert([1, 1, 0, 0])
+        s.insert([0, 0, 1, 0])
+        combined = field.add_arrays(field.asarray([1, 1, 0, 0]), field.asarray([0, 0, 1, 0]))
+        assert not s.insert(combined)
+        assert s.rank == 2
+
+    def test_insert_zero_vector(self, field):
+        s = Subspace(field, 3)
+        assert not s.insert([0, 0, 0])
+
+    def test_insert_wrong_length_raises(self, field):
+        s = Subspace(field, 3)
+        with pytest.raises(ValueError):
+            s.insert([1, 0])
+
+    def test_rank_capped_by_dimension(self, field, rng):
+        s = Subspace(field, 5)
+        for _ in range(30):
+            s.insert(field.random_elements(rng, 5))
+        assert s.rank <= 5
+
+    def test_extend_counts(self, field):
+        s = Subspace(field, 3)
+        assert s.extend([[1, 0, 0], [1, 0, 0], [0, 1, 0]]) == 2
+
+
+class TestQueries:
+    def test_contains(self, field):
+        s = Subspace(field, 4)
+        s.insert([1, 0, 1, 0])
+        s.insert([0, 1, 0, 1])
+        combined = field.add_arrays(field.asarray([1, 0, 1, 0]), field.asarray([0, 1, 0, 1]))
+        assert s.contains(combined)
+        assert not s.contains([1, 0, 0, 0])
+
+    def test_basis_matrix_rows_span_inserted(self, field, rng):
+        s = Subspace(field, 6)
+        vectors = [field.random_elements(rng, 6) for _ in range(4)]
+        for v in vectors:
+            s.insert(v)
+        basis = s.basis_matrix()
+        assert basis.shape == (s.rank, 6)
+        check = Subspace(field, 6)
+        for row in basis:
+            check.insert(row)
+        for v in vectors:
+            assert check.contains(v)
+
+    def test_senses_padded_direction(self, field):
+        s = Subspace(field, 5)
+        s.insert([1, 1, 0, 0, 1])
+        # Direction over only the first 2 coordinates.
+        assert s.senses([1, 0])
+        assert not s.senses([1, 1]) if field.q == 2 else True
+
+    def test_senses_rejects_too_long_direction(self, field):
+        s = Subspace(field, 3)
+        with pytest.raises(ValueError):
+            s.senses([1, 0, 0, 0])
+
+    def test_copy_independence(self, field):
+        s = Subspace(field, 3)
+        s.insert([1, 0, 0])
+        clone = s.copy()
+        clone.insert([0, 1, 0])
+        assert s.rank == 1 and clone.rank == 2
+
+
+class TestRandomCombination:
+    def test_empty_returns_none(self, field, rng):
+        assert Subspace(field, 4).random_combination(rng) is None
+
+    def test_combination_stays_in_span(self, field, rng):
+        s = Subspace(field, 6)
+        for _ in range(3):
+            s.insert(field.random_elements(rng, 6))
+        for _ in range(10):
+            combo = s.random_combination(rng)
+            assert combo is not None
+            assert s.contains(combo)
+
+    def test_combination_with_explicit_coefficients(self, field):
+        s = Subspace(field, 3)
+        s.insert([1, 0, 0])
+        s.insert([0, 1, 0])
+        combo = s.combination_with([1, 1])
+        assert s.contains(combo)
+        assert int(combo[2]) == 0
+
+    def test_combination_with_wrong_count_raises(self, field):
+        s = Subspace(field, 3)
+        s.insert([1, 0, 0])
+        with pytest.raises(ValueError):
+            s.combination_with([1, 2, 3])
+
+    def test_random_combination_nonzero_often(self, rng):
+        # With rank >= 1 the combination is zero with probability 2^-rank;
+        # over 50 draws from a rank-4 space we expect mostly non-zero vectors.
+        s = Subspace(GF2, 8)
+        for i in range(4):
+            vec = [0] * 8
+            vec[i] = 1
+            s.insert(vec)
+        nonzero = 0
+        for _ in range(50):
+            combo = s.random_combination(rng)
+            if any(int(x) for x in combo):
+                nonzero += 1
+        assert nonzero > 30
+
+
+class TestDecoding:
+    def _augmented(self, field, k, payloads):
+        """Build source vectors e_i || payload_i."""
+        vectors = []
+        for i, payload in enumerate(payloads):
+            v = field.zeros(k + len(payload))
+            v[i] = 1
+            v[k:] = field.asarray(payload)
+            vectors.append(v)
+        return vectors
+
+    def test_decode_from_source_vectors(self, field):
+        payloads = [[1, 0, 1], [0, 1, 1], [1, 1, 0]]
+        sources = self._augmented(field, 3, payloads)
+        s = Subspace(field, 6)
+        for v in sources:
+            s.insert(v)
+        assert s.can_decode(3)
+        decoded = s.decode(3)
+        assert [d.tolist() for d in decoded] == payloads
+
+    def test_decode_from_random_combinations(self, field, rng):
+        payloads = [[1, 0, 1, 1], [0, 1, 1, 0], [1, 1, 0, 0], [0, 0, 1, 1]]
+        sources = self._augmented(field, 4, payloads)
+        source_space = Subspace(field, 8)
+        for v in sources:
+            source_space.insert(v)
+        receiver = Subspace(field, 8)
+        # Feed the receiver random combinations until it can decode.
+        for _ in range(100):
+            receiver.insert(source_space.random_combination(rng))
+            if receiver.can_decode(4):
+                break
+        assert receiver.can_decode(4)
+        assert [d.tolist() for d in receiver.decode(4)] == payloads
+
+    def test_cannot_decode_with_partial_rank(self, field):
+        payloads = [[1, 0], [0, 1], [1, 1]]
+        sources = self._augmented(field, 3, payloads)
+        s = Subspace(field, 5)
+        s.insert(sources[0])
+        s.insert(sources[1])
+        assert not s.can_decode(3)
+        assert s.decode(3) is None
+        assert s.coefficient_rank(3) == 2
+
+    def test_coefficient_rank_ignores_payload_dimensions(self, field):
+        s = Subspace(field, 5)
+        # A vector with zero coefficient part contributes nothing to the
+        # coefficient rank even though it raises the overall rank.
+        s.insert([0, 0, 0, 1, 1])
+        assert s.rank == 1
+        assert s.coefficient_rank(3) == 0
+
+    def test_decode_zero_payload_dimensions(self, field):
+        # Degenerate case: no payload symbols at all.
+        s = Subspace(field, 2)
+        s.insert([1, 0])
+        s.insert([0, 1])
+        decoded = s.decode(2)
+        assert len(decoded) == 2
+        assert all(d.size == 0 for d in decoded)

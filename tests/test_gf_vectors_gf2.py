@@ -1,0 +1,211 @@
+"""Unit tests for vector packing helpers and the GF(2) fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gf import (
+    GF,
+    GF2,
+    GF2Basis,
+    bits_to_vector,
+    concat_vectors,
+    int_to_vector,
+    is_zero_vector,
+    linear_combination,
+    pack_bits,
+    symbols_needed,
+    unit_vector,
+    unpack_bits,
+    vector_to_bits,
+    vector_to_int,
+    vectors_equal,
+)
+
+
+class TestSymbolPacking:
+    def test_symbols_needed_gf2(self):
+        assert symbols_needed(8, 2) == 8
+        assert symbols_needed(0, 2) == 0
+        assert symbols_needed(1, 2) == 1
+
+    def test_symbols_needed_larger_field(self):
+        assert symbols_needed(8, 257) == 1  # one symbol of GF(257) holds 8 bits
+        assert symbols_needed(16, 5) == 7  # smallest d' with 5**d' >= 2**16
+
+    def test_symbols_needed_negative_raises(self):
+        with pytest.raises(ValueError):
+            symbols_needed(-1, 2)
+
+    def test_int_vector_roundtrip_gf2(self):
+        f = GF2
+        for value in (0, 1, 5, 170, 255):
+            vec = int_to_vector(f, value, 8)
+            assert vector_to_int(f, vec) == value
+
+    def test_int_vector_roundtrip_gf7(self):
+        f = GF(7)
+        for value in (0, 6, 48, 342):
+            vec = int_to_vector(f, value, 3)
+            assert vector_to_int(f, vec) == value
+
+    def test_int_to_vector_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_vector(GF2, 256, 8)
+
+    def test_int_to_vector_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_vector(GF2, -3, 8)
+
+    def test_bits_roundtrip(self):
+        f = GF(3)
+        payload = 0b101101
+        vec = bits_to_vector(f, payload, 6)
+        assert vector_to_bits(f, vec, 6) == payload
+
+
+class TestVectorHelpers:
+    def test_unit_vector(self):
+        e2 = unit_vector(GF2, 5, 2)
+        assert e2.tolist() == [0, 0, 1, 0, 0]
+
+    def test_unit_vector_out_of_range(self):
+        with pytest.raises(IndexError):
+            unit_vector(GF2, 3, 3)
+
+    def test_concat(self):
+        f = GF(5)
+        out = concat_vectors(f, [[1, 2], [3], [4, 0]])
+        assert out.tolist() == [1, 2, 3, 4, 0]
+
+    def test_concat_empty(self):
+        assert concat_vectors(GF2, []).size == 0
+
+    def test_linear_combination_gf2_is_xor(self):
+        f = GF2
+        v1 = f.asarray([1, 0, 1, 1])
+        v2 = f.asarray([1, 1, 0, 1])
+        out = linear_combination(f, [1, 1], [v1, v2])
+        assert out.tolist() == [0, 1, 1, 0]
+
+    def test_linear_combination_coefficient_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_combination(GF2, [1], [GF2.asarray([1]), GF2.asarray([0])])
+
+    def test_linear_combination_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_combination(GF2, [1, 1], [GF2.asarray([1, 0]), GF2.asarray([0])])
+
+    def test_linear_combination_empty_raises(self):
+        with pytest.raises(ValueError):
+            linear_combination(GF2, [], [])
+
+    def test_is_zero_vector(self):
+        assert is_zero_vector([0, 0, 0])
+        assert not is_zero_vector([0, 1, 0])
+        assert is_zero_vector(np.zeros(0))
+
+    def test_vectors_equal(self):
+        assert vectors_equal([1, 2, 3], np.array([1, 2, 3]))
+        assert not vectors_equal([1, 2], [1, 2, 3])
+        assert not vectors_equal([1, 2, 3], [1, 2, 4])
+
+
+class TestPackUnpack:
+    def test_pack_unpack_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        mask = pack_bits(bits)
+        assert unpack_bits(mask, len(bits)).tolist() == bits
+
+    def test_pack_empty(self):
+        assert pack_bits([]) == 0
+
+    def test_unpack_truncates(self):
+        assert unpack_bits(0b1111, 2).tolist() == [1, 1]
+
+
+class TestGF2Basis:
+    def test_insert_innovative(self):
+        basis = GF2Basis(4)
+        assert basis.insert([1, 0, 0, 0])
+        assert basis.insert([0, 1, 0, 0])
+        assert basis.rank == 2
+
+    def test_insert_dependent_returns_false(self):
+        basis = GF2Basis(4)
+        basis.insert([1, 1, 0, 0])
+        basis.insert([0, 1, 1, 0])
+        assert not basis.insert([1, 0, 1, 0])  # sum of the two
+        assert basis.rank == 2
+
+    def test_insert_zero_vector(self):
+        basis = GF2Basis(4)
+        assert not basis.insert([0, 0, 0, 0])
+        assert basis.rank == 0
+
+    def test_contains(self):
+        basis = GF2Basis(3)
+        basis.insert([1, 1, 0])
+        basis.insert([0, 0, 1])
+        assert basis.contains([1, 1, 1])
+        assert not basis.contains([1, 0, 0])
+
+    def test_extend_counts_innovative(self):
+        basis = GF2Basis(4)
+        added = basis.extend([[1, 0, 0, 0], [1, 0, 0, 0], [0, 1, 0, 0]])
+        assert added == 2
+
+    def test_full_rank(self):
+        basis = GF2Basis(5)
+        for i in range(5):
+            vec = [0] * 5
+            vec[i] = 1
+            basis.insert(vec)
+        assert basis.rank == 5
+        assert basis.contains([1, 1, 1, 1, 1])
+
+    def test_basis_matrix_shape(self):
+        basis = GF2Basis(6)
+        basis.insert([1, 0, 1, 0, 0, 0])
+        basis.insert([0, 1, 0, 0, 1, 0])
+        m = basis.basis_matrix()
+        assert m.shape == (2, 6)
+
+    def test_senses_definition(self):
+        # A node senses mu iff some received vector is non-orthogonal to mu.
+        basis = GF2Basis(4)
+        basis.insert([1, 1, 0, 0])
+        assert basis.senses([1, 0, 0, 0])  # dot = 1
+        assert not basis.senses([1, 1, 0, 0])  # dot = 0 (mod 2)
+        assert not basis.senses([0, 0, 1, 1])
+
+    def test_senses_empty_basis(self):
+        assert not GF2Basis(4).senses([1, 0, 0, 0])
+
+    def test_reduced_echelon_decodes_identity(self):
+        basis = GF2Basis(4)
+        basis.insert([1, 1, 1, 0])
+        basis.insert([0, 1, 1, 1])
+        basis.insert([0, 0, 1, 1])
+        basis.insert([1, 0, 0, 1])
+        reduced = basis.reduced_echelon_matrix()
+        # The basis keys rows by their highest set bit; after full reduction
+        # each row's pivot (highest set coordinate) appears in no other row.
+        pivots = []
+        for row in reduced:
+            ones = [i for i, bit in enumerate(row.tolist()) if bit]
+            pivots.append(max(ones))
+        assert len(set(pivots)) == len(pivots)
+        for row_index, pivot in enumerate(pivots):
+            for other_index, row in enumerate(reduced):
+                if other_index != row_index:
+                    assert row.tolist()[pivot] == 0
+
+    def test_copy_is_independent(self):
+        basis = GF2Basis(3)
+        basis.insert([1, 0, 0])
+        clone = basis.copy()
+        clone.insert([0, 1, 0])
+        assert basis.rank == 1
+        assert clone.rank == 2

@@ -1,0 +1,185 @@
+"""Unit tests for adversaries (repro.network.adversary)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.network import (
+    BottleneckAdversary,
+    NodeStateView,
+    ObliviousSequenceAdversary,
+    OmniscientBottleneckAdversary,
+    PathShuffleAdversary,
+    RandomConnectedAdversary,
+    RandomTreeAdversary,
+    RotatingStarAdversary,
+    ShiftedRingAdversary,
+    StaticAdversary,
+    TStableAdversary,
+    TokenIsolationAdversary,
+    make_adversary,
+    path_graph,
+    validate_topology,
+)
+from repro.network.stability import is_t_stable
+
+
+def make_states(n, informed=None, informed_ids=frozenset({("t", 0)})):
+    informed = informed or set()
+    return [
+        NodeStateView(uid=i, known_token_ids=informed_ids if i in informed else frozenset())
+        for i in range(n)
+    ]
+
+
+class TestStaticAndOblivious:
+    def test_static_adversary_same_graph_every_round(self):
+        adv = StaticAdversary(path_graph)
+        g1 = adv.choose_topology(0, 6, make_states(6))
+        g2 = adv.choose_topology(5, 6, make_states(6))
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_static_adversary_accepts_explicit_graph(self):
+        graph = path_graph(4)
+        adv = StaticAdversary(graph)
+        assert set(adv.choose_topology(0, 4, make_states(4)).edges) == set(graph.edges)
+
+    def test_oblivious_sequence_uses_round_index(self):
+        adv = ObliviousSequenceAdversary(lambda n, r: path_graph(n, order=list(range(n))[::-1] if r % 2 else None))
+        g0 = adv.choose_topology(0, 5, make_states(5))
+        g1 = adv.choose_topology(1, 5, make_states(5))
+        assert nx.is_connected(g0) and nx.is_connected(g1)
+
+    @pytest.mark.parametrize("cls", [RandomConnectedAdversary, RandomTreeAdversary, PathShuffleAdversary])
+    def test_random_adversaries_always_connected(self, cls):
+        adv = cls(seed=3)
+        for r in range(10):
+            validate_topology(adv.choose_topology(r, 12, make_states(12)), 12)
+
+    @pytest.mark.parametrize("cls", [RandomConnectedAdversary, RandomTreeAdversary, PathShuffleAdversary])
+    def test_reset_reproduces_sequence(self, cls):
+        adv = cls(seed=5)
+        first = [frozenset(map(frozenset, adv.choose_topology(r, 8, make_states(8)).edges)) for r in range(3)]
+        adv.reset()
+        second = [frozenset(map(frozenset, adv.choose_topology(r, 8, make_states(8)).edges)) for r in range(3)]
+        assert first == second
+
+    def test_rotating_star_and_shifted_ring(self):
+        for cls in (RotatingStarAdversary, ShiftedRingAdversary):
+            adv = cls()
+            for r in range(6):
+                validate_topology(adv.choose_topology(r, 9, make_states(9)), 9)
+
+
+class TestAdaptiveAdversaries:
+    def test_bottleneck_produces_single_cut_edge(self):
+        adv = BottleneckAdversary()
+        states = make_states(10, informed={0, 1, 2, 3, 4})
+        g = adv.choose_topology(0, 10, states)
+        validate_topology(g, 10)
+        rich = {0, 1, 2, 3, 4}
+        cut_edges = [(u, v) for u, v in g.edges if (u in rich) != (v in rich)]
+        assert len(cut_edges) == 1
+
+    def test_bottleneck_small_networks(self):
+        adv = BottleneckAdversary()
+        for n in (1, 2):
+            validate_topology(adv.choose_topology(0, n, make_states(n)), n)
+
+    def test_bottleneck_rejects_zero_bridges(self):
+        with pytest.raises(ValueError):
+            BottleneckAdversary(bridge_pairs=0)
+
+    def test_token_isolation_splits_holders(self):
+        target = ("token", 7)
+        states = [
+            NodeStateView(uid=i, known_token_ids=frozenset({target}) if i < 3 else frozenset())
+            for i in range(9)
+        ]
+        adv = TokenIsolationAdversary(target)
+        g = adv.choose_topology(0, 9, states)
+        validate_topology(g, 9)
+        holders = {0, 1, 2}
+        cut = [(u, v) for u, v in g.edges if (u in holders) != (v in holders)]
+        assert len(cut) == 1
+
+    def test_token_isolation_complete_when_all_informed(self):
+        target = ("token", 1)
+        states = [NodeStateView(uid=i, known_token_ids=frozenset({target})) for i in range(5)]
+        g = TokenIsolationAdversary(target).choose_topology(0, 5, states)
+        assert g.number_of_edges() == 10
+
+    def test_omniscient_requires_messages_flag(self):
+        adv = OmniscientBottleneckAdversary()
+        assert adv.sees_messages
+        # Without a usefulness function it degenerates but still returns a legal graph.
+        g = adv.choose_topology(0, 8, make_states(8, informed={0, 1}), messages=[None] * 8)
+        validate_topology(g, 8)
+
+    def test_omniscient_picks_useless_bridge(self):
+        # Usefulness oracle: message from node u is useful only to receivers
+        # with uid > u.  The adversary should find a rich->poor pair where it
+        # is useless.
+        def useless(sender, receiver, message):
+            return receiver > sender
+
+        adv = OmniscientBottleneckAdversary(usefulness_fn=useless)
+        states = make_states(8, informed={4, 5, 6, 7})
+        g = adv.choose_topology(0, 8, states, messages=list(range(8)))
+        validate_topology(g, 8)
+
+
+class TestTStableWrapper:
+    def test_topology_constant_within_block(self):
+        inner = RandomConnectedAdversary(seed=2)
+        adv = TStableAdversary(inner, stability=4)
+        graphs = [adv.choose_topology(r, 10, make_states(10)) for r in range(12)]
+        assert is_t_stable(graphs, 4)
+
+    def test_topology_changes_across_blocks(self):
+        adv = TStableAdversary(PathShuffleAdversary(seed=9), stability=3)
+        g0 = adv.choose_topology(0, 12, make_states(12))
+        g3 = adv.choose_topology(3, 12, make_states(12))
+        assert set(map(frozenset, g0.edges)) != set(map(frozenset, g3.edges))
+
+    def test_invalid_stability(self):
+        with pytest.raises(ValueError):
+            TStableAdversary(PathShuffleAdversary(), stability=0)
+
+    def test_reset_clears_block_cache(self):
+        adv = TStableAdversary(RandomConnectedAdversary(seed=4), stability=5)
+        g_before = adv.choose_topology(0, 8, make_states(8))
+        adv.reset()
+        g_after = adv.choose_topology(0, 8, make_states(8))
+        assert set(map(frozenset, g_before.edges)) == set(map(frozenset, g_after.edges))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "static_path",
+            "static_ring",
+            "static_star",
+            "static_complete",
+            "random_connected",
+            "random_tree",
+            "rotating_star",
+            "shifted_ring",
+            "path_shuffle",
+            "bottleneck",
+        ],
+    )
+    def test_every_named_adversary_builds_and_runs(self, name):
+        adv = make_adversary(name, seed=1)
+        for r in range(3):
+            validate_topology(adv.choose_topology(r, 7, make_states(7)), 7)
+
+    def test_factory_stability_wrapping(self):
+        adv = make_adversary("path_shuffle", stability=6, seed=0)
+        assert isinstance(adv, TStableAdversary)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_adversary("does_not_exist")

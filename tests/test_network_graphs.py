@@ -1,0 +1,163 @@
+"""Unit tests for topology generators and validation (repro.network.graphs)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network import (
+    binary_tree_graph,
+    complete_graph,
+    dumbbell_graph,
+    path_graph,
+    random_connected_graph,
+    random_matching_plus_path,
+    random_tree,
+    ring_graph,
+    rotating_star,
+    shifted_ring,
+    split_graph,
+    star_graph,
+    validate_topology,
+)
+
+
+class TestValidation:
+    def test_valid_topology_passes(self):
+        validate_topology(path_graph(5), 5)
+
+    def test_wrong_node_set_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from([1, 2, 3])
+        g.add_edges_from([(1, 2), (2, 3)])
+        with pytest.raises(ValueError):
+            validate_topology(g, 3)
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            validate_topology(g, 4)
+
+    def test_self_loop_rejected(self):
+        g = path_graph(3)
+        g.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            validate_topology(g, 3)
+
+    def test_single_node_graph_ok(self):
+        g = nx.Graph()
+        g.add_node(0)
+        validate_topology(g, 1)
+
+
+class TestDeterministicTopologies:
+    @pytest.mark.parametrize("n", [2, 3, 7, 16])
+    def test_path_is_connected_tree(self, n):
+        g = path_graph(n)
+        assert nx.is_connected(g)
+        assert g.number_of_edges() == n - 1
+
+    def test_path_with_custom_order(self):
+        g = path_graph(4, order=[3, 1, 0, 2])
+        assert g.has_edge(3, 1) and g.has_edge(1, 0) and g.has_edge(0, 2)
+
+    def test_path_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            path_graph(3, order=[0, 1, 1])
+
+    @pytest.mark.parametrize("n", [3, 5, 10])
+    def test_ring_degree_two(self, n):
+        g = ring_graph(n)
+        assert all(d == 2 for _, d in g.degree)
+
+    def test_ring_small_n_falls_back(self):
+        assert ring_graph(2).number_of_edges() == 1
+
+    @pytest.mark.parametrize("n,center", [(5, 0), (5, 3), (8, 7)])
+    def test_star_structure(self, n, center):
+        g = star_graph(n, center)
+        assert g.degree[center] == n - 1
+        assert all(g.degree[v] == 1 for v in range(n) if v != center)
+
+    def test_star_bad_center(self):
+        with pytest.raises(ValueError):
+            star_graph(4, center=4)
+
+    def test_complete_graph_edges(self):
+        assert complete_graph(6).number_of_edges() == 15
+
+    def test_binary_tree_connected(self):
+        g = binary_tree_graph(17)
+        assert nx.is_connected(g)
+        assert g.number_of_edges() == 16
+
+    def test_dumbbell_has_single_bridge(self):
+        n = 10
+        g = dumbbell_graph(n)
+        cut = [(u, v) for u, v in g.edges if (u < n // 2) != (v < n // 2)]
+        assert len(cut) == 1
+        assert nx.is_connected(g)
+
+    def test_dumbbell_custom_bridge(self):
+        g = dumbbell_graph(8, bridge_left=2, bridge_right=6)
+        assert g.has_edge(2, 6)
+
+    def test_dumbbell_bad_bridge(self):
+        with pytest.raises(ValueError):
+            dumbbell_graph(8, bridge_left=6, bridge_right=2)
+
+
+class TestRandomTopologies:
+    def test_random_tree_is_tree(self, rng):
+        for n in (2, 5, 20):
+            g = random_tree(n, rng)
+            assert nx.is_tree(g)
+
+    def test_random_connected_is_connected(self, rng):
+        for _ in range(5):
+            g = random_connected_graph(15, rng, extra_edge_prob=0.1)
+            validate_topology(g, 15)
+
+    def test_random_connected_rejects_bad_prob(self, rng):
+        with pytest.raises(ValueError):
+            random_connected_graph(5, rng, extra_edge_prob=1.5)
+
+    def test_random_matching_plus_path_connected(self, rng):
+        for _ in range(5):
+            g = random_matching_plus_path(13, rng)
+            validate_topology(g, 13)
+
+    def test_random_tree_reproducible(self):
+        g1 = random_tree(12, np.random.default_rng(7))
+        g2 = random_tree(12, np.random.default_rng(7))
+        assert set(g1.edges) == set(g2.edges)
+
+
+class TestRoundIndexedTopologies:
+    def test_rotating_star_moves_center(self):
+        g0 = rotating_star(6, 0)
+        g3 = rotating_star(6, 3)
+        assert g0.degree[0] == 5
+        assert g3.degree[3] == 5
+
+    def test_shifted_ring_always_connected(self):
+        for r in range(10):
+            validate_topology(shifted_ring(9, r), 9)
+
+    def test_shifted_ring_changes_edges(self):
+        edges = {frozenset(map(frozenset, shifted_ring(11, r).edges)) for r in range(4)}
+        assert len(edges) > 1
+
+    def test_split_graph_bridges(self):
+        g = split_graph(10, informed={0, 1, 2})
+        validate_topology(g, 10)
+        cut = [(u, v) for u, v in g.edges if (u in {0, 1, 2}) != (v in {0, 1, 2})]
+        assert len(cut) == 1
+
+    def test_split_graph_all_informed_is_complete(self):
+        g = split_graph(5, informed=set(range(5)))
+        assert g.number_of_edges() == 10
