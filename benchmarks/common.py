@@ -17,16 +17,46 @@ dozen.
 
 from __future__ import annotations
 
-from typing import Callable
+import os
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.algorithms.base import ProtocolConfig, ProtocolFactory
 from repro.network import Adversary
-from repro.simulation import measure, run_dissemination, standard_instance
+from repro.simulation import (
+    SweepPoint,
+    SweepTask,
+    measure,
+    run_dissemination,
+    standard_instance,
+    sweep_tasks,
+)
 from repro.tokens import MessageBudget
 
-__all__ = ["make_config", "run_once", "measure_rounds", "print_rows"]
+__all__ = [
+    "make_config",
+    "run_once",
+    "measure_rounds",
+    "measure_sweep",
+    "print_rows",
+    "sweep_workers",
+]
+
+
+def sweep_workers(default: int = 4) -> int:
+    """Worker-process count for benchmark sweeps.
+
+    Controlled by ``REPRO_BENCH_WORKERS`` (set to ``1`` to force serial
+    execution, e.g. when profiling); clamped to the machine's CPU count.
+    The measurements are seed-deterministic either way — parallelism only
+    changes wall-clock, never results.
+    """
+    try:
+        requested = int(os.environ.get("REPRO_BENCH_WORKERS", default))
+    except ValueError:
+        requested = default
+    return max(1, min(requested, os.cpu_count() or 1))
 
 
 def make_config(
@@ -77,6 +107,39 @@ def measure_rounds(
     return measure(
         factory, config, placement, adversary_factory, repetitions=repetitions, base_seed=seed + 1
     )
+
+
+def measure_sweep(
+    factory: ProtocolFactory,
+    points: Sequence[Mapping[str, object]],
+    config_for: Callable[[Mapping[str, object]], ProtocolConfig],
+    adversary_factory: Callable[[], Adversary],
+    repetitions: int = 2,
+    seed: int = 0,
+    max_workers: int | None = None,
+) -> list[SweepPoint]:
+    """Measure every parameter point, fanned out over worker processes.
+
+    ``config_for`` maps one parameter point (e.g. ``{"n": 64}``) to its
+    :class:`ProtocolConfig`.  Each point is a self-seeded
+    :class:`~repro.simulation.SweepTask`, so the sweep gives identical
+    measurements serial or parallel; workers default to
+    :func:`sweep_workers`.
+    """
+    tasks = [
+        SweepTask(
+            factory=factory,
+            config=config_for(point),
+            adversary_factory=adversary_factory,
+            parameters=dict(point),
+            instance_seed=seed,
+            repetitions=repetitions,
+            base_seed=seed + 1,
+        )
+        for point in points
+    ]
+    workers = sweep_workers() if max_workers is None else max_workers
+    return sweep_tasks(tasks, max_workers=workers)
 
 
 def print_rows(title: str, rows: list[dict]) -> None:

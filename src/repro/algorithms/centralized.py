@@ -25,7 +25,6 @@ complexity is evaluated analytically in :mod:`repro.analysis.bounds`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -39,7 +38,6 @@ from .blocks import block_bits, decode_block, encode_block
 __all__ = ["CentralizedCodedNode", "FreeHeaderCodedMessage"]
 
 
-@dataclass(frozen=True)
 class FreeHeaderCodedMessage(CodedMessage):
     """A coded message whose coefficient header is charged zero bits.
 
@@ -47,8 +45,9 @@ class FreeHeaderCodedMessage(CodedMessage):
     randomness and known topologies, so the header does not consume message
     budget (Section 8.3: "the coefficient overhead can be ignored since it is
     easy to infer the coefficients from knowing the past topologies").
-    The coefficients are still *carried* so the simulation does not have to
-    re-derive them — only their cost model changes.
+    The coefficients are still *carried* (tuple or packed mask form) so the
+    simulation does not have to re-derive them — only their cost model
+    changes.
     """
 
     @property
@@ -85,10 +84,19 @@ class CentralizedCodedNode(ProtocolNode):
             self.state.add_source(self._index_for(token), payload)
 
     def compose(self, round_index: int) -> Message | None:
-        combination = self.state.subspace.random_combination(self.rng)
-        if combination is None:
+        # GenerationState owns the mask/array dispatch; rewrap its message
+        # (packed or tuple form) in the free-header cost model.
+        message = self.state.compose(self.uid, self.rng)
+        if message is None:
             return None
-        message = self.generation.message_from_vector(self.uid, combination)
+        if message.is_packed:
+            return FreeHeaderCodedMessage(
+                sender=message.sender,
+                generation=message.generation,
+                mask=message.mask,
+                k=message.k,
+                payload_symbols=message.payload_symbols,
+            )
         return FreeHeaderCodedMessage(
             sender=message.sender,
             coefficients=message.coefficients,

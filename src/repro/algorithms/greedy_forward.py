@@ -154,8 +154,8 @@ class GreedyForwardNode(ProtocolNode):
         if self._generation_state is None:
             symbol_bits = field_bits(message.field_order)
             generation = Generation(
-                k=len(message.coefficients),
-                payload_bits=len(message.payload) * symbol_bits,
+                k=message.num_coefficients,
+                payload_bits=message.num_payload_symbols * symbol_bits,
                 field_order=message.field_order,
                 generation_id=message.generation,
             )
@@ -206,7 +206,7 @@ class GreedyForwardNode(ProtocolNode):
         for message in messages:
             if isinstance(message, CodedMessage):
                 state = self._generation_from_message(message)
-                if len(message.coefficients) == state.generation.k:
+                if message.num_coefficients == state.generation.k:
                     state.receive(message)
             elif isinstance(message, (TokenForwardMessage, ControlMessage)):
                 # Stragglers from a neighbour still in its gather window.

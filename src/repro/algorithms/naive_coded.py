@@ -108,7 +108,7 @@ class NaiveCodedNode(ProtocolNode):
         for message in messages:
             if isinstance(message, CodedMessage):
                 state = self._generation_from_message(message)
-                if state is not None and len(message.coefficients) == state.generation.k:
+                if state is not None and message.num_coefficients == state.generation.k:
                     state.receive(message)
         if offset == self.broadcast_rounds - 1:
             self._finish_broadcast()
@@ -141,8 +141,8 @@ class NaiveCodedNode(ProtocolNode):
         if self._generation_state is None:
             symbol_bits = field_bits(message.field_order)
             generation = Generation(
-                k=len(message.coefficients),
-                payload_bits=len(message.payload) * symbol_bits,
+                k=message.num_coefficients,
+                payload_bits=message.num_payload_symbols * symbol_bits,
                 field_order=message.field_order,
                 generation_id=message.generation,
             )

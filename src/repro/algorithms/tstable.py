@@ -45,6 +45,7 @@ from typing import Sequence
 import numpy as np
 
 from ..coding.rlnc import Generation, GenerationState
+from ..coding.subspace import Subspace
 from ..network.patches import PatchDecomposition, compute_patches
 from ..tokens.message import ControlMessage, Message
 from ..tokens.token import Token
@@ -117,25 +118,31 @@ class PatchShareCoordinator:
 
     # ------------------------------------------------------------------
     def _share(self, nodes: Sequence["TStablePatchNode"]) -> None:
-        """Every patch jointly forms one random combination of its union span."""
+        """Every patch jointly forms one random combination of its union span.
+
+        The union of the members' bases is collected into a scratch
+        :class:`~repro.coding.subspace.Subspace`, whose shared samplers
+        (mask-native over GF(2)) draw the combination — a uniform draw over
+        the union span, never the information-free zero vector.
+        """
         assert self.decomposition is not None
         for patch in self.decomposition.patches:
             members = sorted(patch.members)
-            # Union of the members' received vectors.
-            union_vectors: list[np.ndarray] = []
+            generation = nodes[members[0]].generation
+            union = Subspace(generation.field, generation.vector_length)
             for uid in members:
-                union_vectors.extend(nodes[uid].state.subspace.basis_matrix())
-            if not union_vectors:
+                member_space = nodes[uid].state.subspace
+                if generation.field.q == 2:
+                    union.extend(member_space.basis_masks())
+                else:
+                    union.extend(member_space.basis_matrix())
+            if union.is_empty:
                 continue
-            field_obj = nodes[members[0]].generation.field
-            coefficients = field_obj.random_elements(self.rng, len(union_vectors))
-            combined = field_obj.zeros(len(union_vectors[0]))
-            for coeff, vector in zip(np.asarray(coefficients).ravel().tolist(), union_vectors):
-                coeff = int(coeff)
-                if coeff:
-                    combined = field_obj.add_arrays(
-                        combined, field_obj.scale(field_obj.asarray(vector), coeff)
-                    )
+            combined: int | np.ndarray
+            if generation.field.q == 2:
+                combined = union.random_combination_mask(self.rng)
+            else:
+                combined = union.random_combination(self.rng)
             for uid in members:
                 nodes[uid].state.receive_vector(combined)
                 nodes[uid].patch_vector = combined
@@ -168,7 +175,8 @@ class TStablePatchNode(ProtocolNode):
             generation_id=0,
         )
         self.state: GenerationState = self.generation.new_state()
-        self.patch_vector: np.ndarray | None = None
+        #: The patch's combined vector: a bit mask over GF(2), else an array.
+        self.patch_vector: int | np.ndarray | None = None
         self._index_of = config.extra.get("index_of")
         self._decoded = False
         #: Shared coordinator, attached by :func:`make_tstable_factory`.

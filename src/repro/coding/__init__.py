@@ -1,4 +1,12 @@
-"""Network-coding core: generations, subspaces, packet cost model, derandomization."""
+"""Network-coding core: generations, subspaces, packet cost model, derandomization.
+
+Over GF(2) — the paper's "replace linear combinations by XORs" — the whole
+layer is *mask-native*: a coded vector is one Python integer bit mask from
+:meth:`GenerationState.compose` through the packed
+:class:`~repro.tokens.message.CodedMessage` wire format to
+:meth:`GenerationState.receive` and mask-level Gauss-Jordan decoding.  See
+:mod:`repro.coding.subspace` and :mod:`repro.coding.rlnc` for the API.
+"""
 
 from .deterministic import (
     DeterministicSchedule,

@@ -21,6 +21,12 @@ paper itself notes); our substitute draws the schedule from a seeded PRF
 over the required large field and exposes a verifier that checks it against
 a battery of adversarial strategies on small instances (see DESIGN.md,
 substitutions table).
+
+The mask-native GF(2) fast path of the coding layer does not apply here:
+Theorem 6.1 needs the huge fields ``q = n^{Omega(k)}``, so the deterministic
+pipeline always runs on the generic-field (object-dtype) representation.
+Schedules *over* GF(2) (used in tests) still compose through
+``Subspace.combination_mask_with``, where only coefficient parity matters.
 """
 
 from __future__ import annotations

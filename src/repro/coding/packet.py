@@ -7,6 +7,12 @@ such that ``m`` blocks can be coded together inside a ``b``-bit message; and
 the ``b/2``-split used by greedy-forward (Section 7): group tokens into
 blocks of ``b/2d`` tokens so that ``b/2`` blocks can be broadcast
 simultaneously with the remaining ``b/2`` bits of header.
+
+Note on the wire format: these helpers size the *transmitted* message.  At
+``q = 2`` the simulator's packed wire format (one integer bit mask per
+coded message, see :class:`repro.tokens.message.CodedMessage`) carries
+exactly ``coding_header_bits + coded_payload_bits`` information bits, so the
+cost model is identical for the tuple and packed representations.
 """
 
 from __future__ import annotations
@@ -88,6 +94,17 @@ class GenerationPlan:
     def tokens_covered(self) -> int:
         """Total number of tokens this generation can carry."""
         return self.tokens_per_block * self.num_blocks
+
+    def to_generation(self, generation_id: int = 0):
+        """Instantiate the :class:`~repro.coding.rlnc.Generation` this plan describes."""
+        from .rlnc import Generation
+
+        return Generation(
+            k=self.num_blocks,
+            payload_bits=self.block_bits,
+            field_order=self.field_order,
+            generation_id=generation_id,
+        )
 
 
 def plan_generation(

@@ -6,11 +6,20 @@ blocks of tokens), payload size in bits, and the field ``GF(q)``.  Nodes
 hold a :class:`~repro.coding.subspace.Subspace` of augmented vectors
 ``v_i = e_i || t_i`` and exchange random linear combinations of everything
 they have received.
+
+Mask-native fast path (``q = 2``): the augmented vector of a coded message
+is a single integer bit mask from :meth:`GenerationState.compose` through
+the wire (:meth:`CodedMessage.from_mask <repro.tokens.message.CodedMessage>`)
+to :meth:`GenerationState.receive` — no per-symbol tuples, no numpy
+round-trips.  ``source_mask`` / ``message_from_mask`` / ``mask_from_message``
+are the packed counterparts of the generic array API, which remains for
+general prime fields.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -56,12 +65,12 @@ class Generation:
         """The coding field."""
         return get_field(self.field_order)
 
-    @property
+    @cached_property
     def payload_symbols(self) -> int:
         """Number of ``F_q`` symbols per payload (``d' = ceil(d / lg q)``)."""
         return symbols_needed(self.payload_bits, self.field_order)
 
-    @property
+    @cached_property
     def vector_length(self) -> int:
         """Length of an augmented coding vector (``k + d'``)."""
         return self.k + self.payload_symbols
@@ -90,6 +99,25 @@ class Generation:
             vector[self.k :] = int_to_vector(field, payload, self.payload_symbols)
         return vector
 
+    def source_mask(self, index: int, payload: int) -> int:
+        """Packed form of :meth:`source_vector`: ``e_index || payload`` as a mask.
+
+        GF(2) only — over ``q = 2`` the LSB-first symbol encoding of a
+        payload integer *is* its binary representation, so the augmented
+        vector is simply ``(1 << index) | (payload << k)``.
+        """
+        if self.field_order != 2:
+            raise ValueError("source_mask requires GF(2)")
+        if not 0 <= index < self.k:
+            raise IndexError(f"dimension index {index} out of range for k={self.k}")
+        payload = int(payload)
+        if payload < 0 or payload.bit_length() > self.payload_symbols:
+            raise ValueError(
+                f"payload {payload} does not fit into {self.payload_symbols} "
+                f"symbols over GF(2)"
+            )
+        return (1 << index) | (payload << self.k)
+
     def new_state(self) -> "GenerationState":
         """A fresh per-node state (empty received subspace) for this generation."""
         return GenerationState(self)
@@ -98,7 +126,7 @@ class Generation:
     # message <-> vector conversion
     # ------------------------------------------------------------------
     def message_from_vector(self, sender: int, vector: np.ndarray) -> CodedMessage:
-        """Wrap an augmented vector as a :class:`CodedMessage`."""
+        """Wrap an augmented vector as a tuple-form :class:`CodedMessage`."""
         arr = self.field.asarray(vector).ravel()
         if arr.shape[0] != self.vector_length:
             raise ValueError(
@@ -112,15 +140,33 @@ class Generation:
             generation=self.generation_id,
         )
 
-    def vector_from_message(self, message: CodedMessage) -> np.ndarray:
-        """Unwrap a :class:`CodedMessage` back into an augmented vector."""
+    def message_from_mask(self, sender: int, mask: int) -> CodedMessage:
+        """Wrap a packed augmented vector as a packed :class:`CodedMessage`."""
+        if self.field_order != 2:
+            raise ValueError("message_from_mask requires GF(2)")
+        return CodedMessage.from_mask(
+            sender=sender,
+            mask=mask,
+            k=self.k,
+            payload_symbols=self.payload_symbols,
+            generation=self.generation_id,
+        )
+
+    def _check_message(self, message: CodedMessage) -> None:
         if message.field_order != self.field_order:
             raise ValueError(
                 f"message field GF({message.field_order}) != generation field "
                 f"GF({self.field_order})"
             )
-        if len(message.coefficients) != self.k or len(message.payload) != self.payload_symbols:
+        if (
+            message.num_coefficients != self.k
+            or message.num_payload_symbols != self.payload_symbols
+        ):
             raise ValueError("message dimensions do not match this generation")
+
+    def vector_from_message(self, message: CodedMessage) -> np.ndarray:
+        """Unwrap a :class:`CodedMessage` back into an augmented vector."""
+        self._check_message(message)
         field = self.field
         vector = field.zeros(self.vector_length)
         for i, value in enumerate(message.coefficients):
@@ -129,27 +175,49 @@ class Generation:
             vector[self.k + i] = field.normalize(value)
         return vector
 
+    def mask_from_message(self, message: CodedMessage) -> int:
+        """Unwrap a :class:`CodedMessage` into a packed augmented vector.
+
+        Zero-cost for packed messages; tuple-form GF(2) messages are packed
+        on the fly so mixed traffic interoperates.
+        """
+        if self.field_order != 2:
+            raise ValueError("mask_from_message requires GF(2)")
+        self._check_message(message)
+        if message.mask is not None:
+            return message.mask
+        return message.coefficient_mask() | (message.payload_mask() << self.k)
+
 
 class GenerationState:
-    """Per-node state for one coding generation: the received subspace."""
+    """Per-node state for one coding generation: the received subspace.
+
+    Over GF(2) every operation below stays in the packed integer-mask
+    representation end to end.
+    """
 
     def __init__(self, generation: Generation):
         self.generation = generation
         self.subspace = Subspace(generation.field, generation.vector_length)
+        self._mask_native = generation.field_order == 2
 
     # ------------------------------------------------------------------
     # knowledge updates
     # ------------------------------------------------------------------
     def add_source(self, index: int, payload: int) -> bool:
         """Inject a locally-known payload for dimension ``index``."""
+        if self._mask_native:
+            return self.subspace.insert(self.generation.source_mask(index, payload))
         return self.subspace.insert(self.generation.source_vector(index, payload))
 
     def receive(self, message: CodedMessage) -> bool:
         """Incorporate a received coded message; return True if innovative."""
+        if self._mask_native:
+            return self.subspace.insert(self.generation.mask_from_message(message))
         return self.subspace.insert(self.generation.vector_from_message(message))
 
-    def receive_vector(self, vector: np.ndarray) -> bool:
-        """Incorporate a raw augmented vector; return True if innovative."""
+    def receive_vector(self, vector: int | np.ndarray) -> bool:
+        """Incorporate a raw augmented vector (mask or array); True if innovative."""
         return self.subspace.insert(vector)
 
     # ------------------------------------------------------------------
@@ -159,8 +227,14 @@ class GenerationState:
         """A random linear combination of everything received, as a message.
 
         Returns None when the node has received nothing for this generation
-        yet (it then has nothing useful to contribute).
+        yet (it then has nothing useful to contribute).  The combination is
+        never the zero vector (see :meth:`Subspace.random_combination`).
         """
+        if self._mask_native:
+            mask = self.subspace.random_combination_mask(rng)
+            if mask is None:
+                return None
+            return self.generation.message_from_mask(sender, mask)
         combination = self.subspace.random_combination(rng)
         if combination is None:
             return None
@@ -170,9 +244,11 @@ class GenerationState:
         """Combine the current basis with explicit coefficients (deterministic coding)."""
         if self.subspace.rank == 0:
             return None
-        combination = self.subspace.combination_with(
-            list(coefficients)[: self.subspace.rank]
-        )
+        coefficients = list(coefficients)[: self.subspace.rank]
+        if self._mask_native:
+            mask = self.subspace.combination_mask_with(coefficients)
+            return self.generation.message_from_mask(sender, mask)
+        combination = self.subspace.combination_with(coefficients)
         return self.generation.message_from_vector(sender, combination)
 
     # ------------------------------------------------------------------
@@ -192,13 +268,22 @@ class GenerationState:
         return self.subspace.can_decode(self.generation.k)
 
     def decode_payloads(self) -> list[int] | None:
-        """Recover all ``k`` payloads as integers, or None if not yet decodable."""
-        vectors = self.subspace.decode(self.generation.k)
+        """Recover all ``k`` payloads as integers, or None if not yet decodable.
+
+        On the GF(2) path the decoded payload masks *are* the payload
+        integers (LSB-first bits), so no unpacking happens at all.
+        """
+        k = self.generation.k
+        if self._mask_native:
+            if not self.subspace.can_decode(k):
+                return None
+            return self.subspace.decode_payload_masks(k)
+        vectors = self.subspace.decode(k)
         if vectors is None:
             return None
         field = self.generation.field
         return [vector_to_int(field, v) for v in vectors]
 
-    def senses(self, direction: Sequence[int] | np.ndarray) -> bool:
-        """Definition 5.1 sensing of a coefficient-space direction."""
+    def senses(self, direction: int | Sequence[int] | np.ndarray) -> bool:
+        """Definition 5.1 sensing of a coefficient-space direction (mask or array)."""
         return self.subspace.senses(direction)

@@ -13,8 +13,17 @@ coded vectors it has received (Section 5.1).  This module provides the
   coefficient part of the span is full.
 
 For ``q = 2`` the implementation transparently uses the bit-packed
-:class:`~repro.gf.gf2.GF2Basis` fast path; for general prime ``q`` it keeps
-an echelon basis of numpy vectors.
+:class:`~repro.gf.gf2.GF2Basis` fast path, and is *mask-native*: ``insert``,
+``contains`` and ``senses`` accept plain integer bit masks (bit ``i`` =
+coordinate ``i``) next to arrays, ``random_combination_mask`` /
+``combination_mask_with`` / ``decode_payload_masks`` emit masks, and the
+array-based API only packs/unpacks at its boundary (vectorised via
+``np.packbits`` / ``np.unpackbits``).  For general prime ``q`` it keeps an
+echelon basis of numpy vectors.
+
+Coefficient-block ranks (``coefficient_rank`` / ``can_decode``) are cached
+per projection width and updated incrementally on insertion instead of
+rebuilding a throwaway projection basis on every call.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..gf import GF, GF2Basis, pack_bits, unpack_bits, unpack_bits
+from ..gf import GF, GF2Basis, pack_bits, unpack_bits
 
 __all__ = ["Subspace"]
 
@@ -48,6 +57,9 @@ class Subspace:
         self._gf2: GF2Basis | None = GF2Basis(length) if field.q == 2 else None
         # For general q: echelon rows keyed by pivot (first non-zero) column.
         self._rows: dict[int, np.ndarray] = {}
+        # General-q incremental coefficient-rank cache: projection width ->
+        # projection subspace, fed one row per successful insert.
+        self._projections: dict[int, "Subspace"] = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -59,7 +71,25 @@ class Subspace:
             clone._gf2 = self._gf2.copy()
         else:
             clone._rows = {col: row.copy() for col, row in self._rows.items()}
+            clone._projections = {k: p.copy() for k, p in self._projections.items()}
         return clone
+
+    def _as_mask(self, vector: int | Sequence[int] | np.ndarray, *, pad: bool = False) -> int:
+        """Canonicalise a GF(2) input (mask or array) into an integer mask."""
+        if isinstance(vector, (int, np.integer)):
+            mask = int(vector)
+            if mask < 0 or mask.bit_length() > self.length:
+                raise ValueError(
+                    f"mask of {mask.bit_length()} bits does not fit ambient "
+                    f"dimension {self.length}"
+                )
+            return mask
+        arr = np.asarray(vector).ravel()
+        if arr.shape[0] != self.length and not (pad and arr.shape[0] <= self.length):
+            raise ValueError(
+                f"vector length {arr.shape[0]} != ambient dimension {self.length}"
+            )
+        return pack_bits(arr)
 
     # ------------------------------------------------------------------
     # insertion
@@ -77,15 +107,15 @@ class Subspace:
             v = self.field.sub_arrays(v, self.field.scale(row, coeff))
         return v
 
-    def insert(self, vector: Sequence[int] | np.ndarray) -> bool:
-        """Insert a vector into the span; return True iff it was innovative."""
+    def insert(self, vector: int | Sequence[int] | np.ndarray) -> bool:
+        """Insert a vector into the span; return True iff it was innovative.
+
+        On the GF(2) path the vector may be an integer bit mask.
+        """
         if self._gf2 is not None:
-            arr = np.asarray(vector).ravel()
-            if arr.shape[0] != self.length:
-                raise ValueError(
-                    f"vector length {arr.shape[0]} != ambient dimension {self.length}"
-                )
-            return self._gf2.insert([int(x) & 1 for x in arr.tolist()])
+            return self._gf2.insert(self._as_mask(vector))
+        if isinstance(vector, (int, np.integer)):
+            raise TypeError("integer-mask insertion requires a GF(2) subspace")
         v = self.field.asarray(vector).ravel()
         if v.shape[0] != self.length:
             raise ValueError(
@@ -102,9 +132,12 @@ class Subspace:
             if coeff != 0:
                 self._rows[col] = self.field.sub_arrays(row, self.field.scale(v, coeff))
         self._rows[pivot] = v
+        # The span grew by exactly v: feed its image to cached projections.
+        for k, projection in self._projections.items():
+            projection.insert(np.asarray(v).ravel()[:k])
         return True
 
-    def extend(self, vectors: Iterable[Sequence[int] | np.ndarray]) -> int:
+    def extend(self, vectors: Iterable[int | Sequence[int] | np.ndarray]) -> int:
         """Insert several vectors; return the number that were innovative."""
         return sum(1 for v in vectors if self.insert(v))
 
@@ -132,30 +165,39 @@ class Subspace:
         rows = [self._rows[col] for col in sorted(self._rows)]
         return np.stack(rows) if rows else self.field.zeros((0, self.length))
 
-    def contains(self, vector: Sequence[int] | np.ndarray) -> bool:
-        """True iff ``vector`` lies in the span."""
+    def basis_masks(self) -> list[int]:
+        """The basis as integer masks (GF(2) subspaces only)."""
+        if self._gf2 is None:
+            raise TypeError("basis_masks requires a GF(2) subspace")
+        return self._gf2.basis_masks()
+
+    def contains(self, vector: int | Sequence[int] | np.ndarray) -> bool:
+        """True iff ``vector`` (mask or array) lies in the span."""
         if self._gf2 is not None:
-            arr = [int(x) & 1 for x in np.asarray(vector).ravel().tolist()]
-            return self._gf2.contains(arr)
+            return self._gf2.contains(self._as_mask(vector))
         v = self.field.asarray(vector).ravel()
         v = self._reduce(v)
         return all(int(x) == 0 for x in v.tolist())
 
-    def senses(self, direction: Sequence[int] | np.ndarray) -> bool:
+    def senses(self, direction: int | Sequence[int] | np.ndarray) -> bool:
         """Definition 5.1: some received vector is not orthogonal to ``direction``.
 
         The direction may be shorter than the ambient dimension (e.g. a
         ``k``-dimensional coefficient direction against ``k + d'``-dimensional
         augmented vectors); it is implicitly zero-padded on the right, which
         matches the paper's restriction to "the first ``k`` coordinates".
+        On the GF(2) path an integer bit mask is accepted directly (masks
+        carry their zero-padding implicitly).
         """
+        if self._gf2 is not None:
+            return self._gf2.senses(self._as_mask(direction, pad=True))
+        if isinstance(direction, (int, np.integer)):
+            raise TypeError("integer-mask directions require a GF(2) subspace")
         direction_arr = self.field.asarray(direction).ravel()
         if direction_arr.shape[0] > self.length:
             raise ValueError("direction longer than ambient dimension")
         padded = self.field.zeros(self.length)
         padded[: direction_arr.shape[0]] = direction_arr
-        if self._gf2 is not None:
-            return self._gf2.senses(pack_bits(padded.tolist()))
         for row in self._rows.values():
             if self.field.dot(row, padded) != 0:
                 return True
@@ -164,36 +206,82 @@ class Subspace:
     # ------------------------------------------------------------------
     # message generation
     # ------------------------------------------------------------------
-    def random_combination(self, rng: np.random.Generator) -> np.ndarray | None:
-        """A uniformly random linear combination of the basis vectors.
+    def random_combination_mask(self, rng: np.random.Generator) -> int | None:
+        """A uniformly random *non-zero* combination of the basis, as a mask.
 
-        Returns None when the subspace is empty (the node has nothing to
-        say yet); a protocol may then send nothing or a zero message.
+        GF(2) subspaces only.  Returns None when the subspace is empty.  The
+        all-zero draw (probability ``2^-rank``) is resampled away: a zero
+        message carries no information yet would still burn message budget
+        and count as a useless delivery.
         """
-        if self.rank == 0:
+        if self._gf2 is None:
+            raise TypeError("random_combination_mask requires a GF(2) subspace")
+        masks = self._gf2.basis_masks()
+        if not masks:
             return None
-        if self._gf2 is not None:
-            # Fast path: XOR a uniformly random subset of the basis masks.
-            masks = self._gf2.basis_masks()
+        while True:
             picks = rng.integers(0, 2, size=len(masks))
             combined = 0
             for pick, mask in zip(picks.tolist(), masks):
                 if pick:
                     combined ^= mask
-            return self.field.asarray(unpack_bits(combined, self.length))
+            if combined:
+                return combined
+
+    def random_combination(self, rng: np.random.Generator) -> np.ndarray | None:
+        """A uniformly random non-zero linear combination of the basis vectors.
+
+        Returns None when the subspace is empty (the node has nothing to
+        say yet).  The zero combination — the all-zero coefficient draw,
+        probability ``q^-rank`` — is resampled so a node with information
+        never broadcasts a useless zero vector.
+        """
+        if self.rank == 0:
+            return None
+        if self._gf2 is not None:
+            # Fast path: XOR a uniformly random subset of the basis masks.
+            mask = self.random_combination_mask(rng)
+            return self.field.asarray(unpack_bits(mask, self.length))
         basis = self.basis_matrix()
-        coefficients = self.field.random_elements(rng, basis.shape[0])
-        combination = self.field.zeros(self.length)
-        for coeff, row in zip(np.asarray(coefficients).ravel().tolist(), basis):
-            coeff = int(coeff)
-            if coeff:
-                combination = self.field.add_arrays(
-                    combination, self.field.scale(self.field.asarray(row), coeff)
-                )
-        return combination
+        while True:
+            coefficients = self.field.random_elements(rng, basis.shape[0])
+            combination = self.field.zeros(self.length)
+            nonzero = False
+            for coeff, row in zip(np.asarray(coefficients).ravel().tolist(), basis):
+                coeff = int(coeff)
+                if coeff:
+                    nonzero = True
+                    combination = self.field.add_arrays(
+                        combination, self.field.scale(self.field.asarray(row), coeff)
+                    )
+            # Basis rows are independent, so the combination is zero iff all
+            # coefficients were; resample that information-free draw.
+            if nonzero:
+                return combination
+
+    def combination_mask_with(self, coefficients: Sequence[int]) -> int:
+        """A specific combination of the basis, as a mask (GF(2) only).
+
+        Coefficient ``i`` applies to row ``i`` of :meth:`basis_matrix` (equally
+        :meth:`basis_masks`); only its parity matters over GF(2).
+        """
+        if self._gf2 is None:
+            raise TypeError("combination_mask_with requires a GF(2) subspace")
+        masks = self._gf2.basis_masks()
+        coeffs = list(coefficients)
+        if len(coeffs) != len(masks):
+            raise ValueError(f"need {len(masks)} coefficients, got {len(coeffs)}")
+        combined = 0
+        for coeff, mask in zip(coeffs, masks):
+            if int(coeff) & 1:
+                combined ^= mask
+        return combined
 
     def combination_with(self, coefficients: Sequence[int]) -> np.ndarray:
         """A specific linear combination of the current basis vectors."""
+        if self._gf2 is not None:
+            combined = self.combination_mask_with(coefficients)
+            return self.field.asarray(unpack_bits(combined, self.length))
         basis = self.basis_matrix()
         coeffs = list(coefficients)
         if len(coeffs) != basis.shape[0]:
@@ -213,13 +301,24 @@ class Subspace:
     # decoding
     # ------------------------------------------------------------------
     def coefficient_rank(self, k: int) -> int:
-        """Rank of the span projected onto the first ``k`` coordinates."""
-        if self.rank == 0 or k == 0:
+        """Rank of the span projected onto the first ``k`` coordinates.
+
+        Maintained incrementally: the projection for each queried ``k`` is
+        cached and fed one row per subsequent insertion instead of being
+        rebuilt from scratch on every call.
+        """
+        if self.rank == 0 or k <= 0:
             return 0
-        basis = self.basis_matrix()
-        projection = Subspace(self.field, k)
-        for row in basis:
-            projection.insert(np.asarray(row).ravel()[:k])
+        if self._gf2 is not None:
+            return self._gf2.coefficient_rank(k)
+        if k >= self.length:
+            return self.rank
+        projection = self._projections.get(k)
+        if projection is None:
+            projection = Subspace(self.field, k)
+            for row in self._rows.values():
+                projection.insert(np.asarray(row).ravel()[:k])
+            self._projections[k] = projection
         return projection.rank
 
     def can_decode(self, k: int) -> bool:
@@ -227,6 +326,18 @@ class Subspace:
         if self.rank < k:
             return False
         return self.coefficient_rank(k) >= k
+
+    def decode_payload_masks(self, k: int) -> list[int] | None:
+        """GF(2) decode, mask-native: the ``k`` payload blocks as bit masks.
+
+        Returns None while the coefficient block is not yet full rank.  The
+        ``i``-th mask holds the payload (coordinates ``k ..`` of the reduced
+        row whose coefficient part is ``e_i``) with bit ``j`` = payload
+        coordinate ``j`` — which over GF(2) is exactly the payload integer.
+        """
+        if self._gf2 is None:
+            raise TypeError("decode_payload_masks requires a GF(2) subspace")
+        return self._gf2.decode_payload_masks(k)
 
     def decode(self, k: int) -> list[np.ndarray] | None:
         """Recover the ``k`` original payload vectors, or None if not yet possible.
@@ -237,11 +348,13 @@ class Subspace:
         """
         if not self.can_decode(k):
             return None
-        basis = self.basis_matrix()
-        if self._gf2 is not None:
-            # Re-run full reduction on the packed representation for exactness.
-            working = [pack_bits(row.tolist()) for row in basis]
         payload_len = self.length - k
+        if self._gf2 is not None:
+            masks = self._gf2.decode_payload_masks(k)
+            if masks is None:
+                return None
+            return [self.field.asarray(unpack_bits(m, payload_len)) for m in masks]
+        basis = self.basis_matrix()
         # Gauss-Jordan on the coefficient block using generic field arithmetic
         # (basis sizes here are small: at most k + d' rows).
         rows = [self.field.asarray(row).ravel() for row in basis]

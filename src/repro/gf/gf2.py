@@ -11,6 +11,12 @@ inserted as a new basis row.
 The representation is deliberately simple: a vector of length ``n`` is an
 ``int`` whose bit ``i`` is the ``i``-th coordinate.  All operations are
 O(n/64) thanks to Python's big-int XOR.
+
+This module is the bottom layer of the *mask-native fast path*: the coding
+layer (:mod:`repro.coding.subspace`, :mod:`repro.coding.rlnc`) keeps a coded
+vector as a single integer mask all the way from ``compose`` to ``deliver``,
+so ``pack_bits`` / ``unpack_bits`` only run at genuine array boundaries
+(and are vectorised via ``np.packbits`` / ``np.unpackbits`` for those).
 """
 
 from __future__ import annotations
@@ -28,25 +34,32 @@ __all__ = [
 
 
 def pack_bits(bits: Sequence[int] | np.ndarray) -> int:
-    """Pack a 0/1 sequence (coordinate 0 first) into an integer mask."""
-    mask = 0
-    for i, bit in enumerate(np.asarray(bits).ravel().tolist()):
-        if int(bit) & 1:
-            mask |= 1 << i
-    return mask
+    """Pack a 0/1 sequence (coordinate 0 first) into an integer mask.
+
+    Vectorised through ``np.packbits``; entries are reduced mod 2 so any
+    integer sequence is a valid input.
+    """
+    arr = np.asarray(bits).ravel()
+    if arr.size == 0:
+        return 0
+    if arr.dtype == np.dtype(object):
+        # Arbitrary-precision entries (very large fields): reduce in Python.
+        arr = np.array([int(b) & 1 for b in arr.tolist()], dtype=np.uint8)
+    else:
+        arr = (arr.astype(np.int64, copy=False) & 1).astype(np.uint8)
+    return int.from_bytes(np.packbits(arr, bitorder="little").tobytes(), "little")
 
 
 def unpack_bits(mask: int, length: int) -> np.ndarray:
-    """Unpack an integer mask into a length-``length`` 0/1 numpy vector."""
-    out = np.zeros(length, dtype=np.int64)
-    remaining = mask
-    index = 0
-    while remaining and index < length:
-        if remaining & 1:
-            out[index] = 1
-        remaining >>= 1
-        index += 1
-    return out
+    """Unpack an integer mask into a length-``length`` 0/1 numpy vector.
+
+    Vectorised through ``np.unpackbits``; bits beyond ``length`` are ignored.
+    """
+    if length <= 0:
+        return np.zeros(max(0, length), dtype=np.int64)
+    mask = int(mask) & ((1 << length) - 1)
+    data = np.frombuffer(mask.to_bytes((length + 7) // 8, "little"), dtype=np.uint8)
+    return np.unpackbits(data, count=length, bitorder="little").astype(np.int64)
 
 
 @dataclass
@@ -60,10 +73,18 @@ class GF2Basis:
     This mirrors exactly what a network-coding node does with its received
     messages: keep a basis of the span, detect whether a new message is
     innovative, and decode by back-substitution once the span is full.
+
+    Coefficient-block queries (the rank of the span projected onto the first
+    ``k`` coordinates, which drives ``can_decode``) are maintained
+    *incrementally*: the first query for a given ``k`` materialises a
+    projection basis, and every subsequent insertion feeds it one masked row,
+    so repeated ``coefficient_rank`` calls cost O(rank) instead of rebuilding
+    a throwaway basis each time.
     """
 
     length: int
     _rows: dict[int, int] = field(default_factory=dict)
+    _projections: dict[int, "GF2Basis"] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # insertion / reduction
@@ -80,16 +101,20 @@ class GF2Basis:
 
     def insert(self, vector: int | Sequence[int] | np.ndarray) -> bool:
         """Insert a vector; return True iff it was innovative (increased rank)."""
-        mask = vector if isinstance(vector, int) else pack_bits(vector)
+        mask = int(vector) if isinstance(vector, (int, np.integer)) else pack_bits(vector)
         reduced = self._reduce(mask)
         if reduced == 0:
             return False
         self._rows[reduced.bit_length() - 1] = reduced
+        # Keep cached coefficient-block projections in sync: the span grows by
+        # exactly this row, so each projection grows by its masked image.
+        for k, projection in self._projections.items():
+            projection.insert(reduced & ((1 << k) - 1))
         return True
 
     def contains(self, vector: int | Sequence[int] | np.ndarray) -> bool:
         """True iff the vector lies in the span of the basis."""
-        mask = vector if isinstance(vector, int) else pack_bits(vector)
+        mask = int(vector) if isinstance(vector, (int, np.integer)) else pack_bits(vector)
         return self._reduce(mask) == 0
 
     def extend(self, vectors: Iterable[int | Sequence[int] | np.ndarray]) -> int:
@@ -126,11 +151,63 @@ class GF2Basis:
         This is the "sensing" relation of Definition 5.1 specialised to
         GF(2): orthogonality is parity of the AND of the two masks.
         """
-        mask = direction if isinstance(direction, int) else pack_bits(direction)
+        mask = int(direction) if isinstance(direction, (int, np.integer)) else pack_bits(direction)
         for row in self._rows.values():
-            if bin(row & mask).count("1") % 2 == 1:
+            if (row & mask).bit_count() & 1:
                 return True
         return False
+
+    def coefficient_rank(self, k: int) -> int:
+        """Rank of the span projected onto the first ``k`` coordinates.
+
+        Maintained incrementally: the projection basis for each queried ``k``
+        is cached and updated on every subsequent :meth:`insert`.
+        """
+        if k <= 0 or self.rank == 0:
+            return 0
+        if k >= self.length:
+            return self.rank
+        projection = self._projections.get(k)
+        if projection is None:
+            projection = GF2Basis(k)
+            low = (1 << k) - 1
+            for row in self._rows.values():
+                projection.insert(row & low)
+            self._projections[k] = projection
+        return projection.rank
+
+    def decode_payload_masks(self, k: int) -> list[int] | None:
+        """Gauss-Jordan on the coefficient block, returning the payload masks.
+
+        The rows are augmented ``[coefficients | payload]`` vectors with the
+        first ``k`` bits being the coefficient block.  When that block has
+        full rank ``k``, returns, for each dimension ``i``, the payload bits
+        (mask shifted down by ``k``) of the combination whose coefficient
+        part is exactly ``e_i``; otherwise None.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if k == 0:
+            return []
+        low = (1 << k) - 1
+        pivots: dict[int, int] = {}
+        for mask in self._rows.values():
+            for bit, pivot_row in pivots.items():
+                if (mask >> bit) & 1:
+                    mask ^= pivot_row
+            coeff = mask & low
+            if coeff == 0:
+                continue
+            bit = (coeff & -coeff).bit_length() - 1
+            for other_bit in pivots:
+                if (pivots[other_bit] >> bit) & 1:
+                    pivots[other_bit] ^= mask
+            pivots[bit] = mask
+            if len(pivots) == k:
+                break
+        if len(pivots) < k:
+            return None
+        return [pivots[i] >> k for i in range(k)]
 
     def reduced_echelon_matrix(self) -> np.ndarray:
         """Fully reduced (Gauss-Jordan) basis matrix, used for decoding."""
@@ -150,4 +227,5 @@ class GF2Basis:
         """An independent copy of this basis."""
         clone = GF2Basis(self.length)
         clone._rows = dict(self._rows)
+        clone._projections = {k: p.copy() for k, p in self._projections.items()}
         return clone

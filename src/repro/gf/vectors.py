@@ -10,6 +10,7 @@ concatenation, linear combinations) shared by the coding layer.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -30,6 +31,7 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=4096)
 def symbols_needed(num_bits: int, q: int) -> int:
     """Number of ``F_q`` symbols needed to encode ``num_bits`` bits.
 
@@ -37,6 +39,7 @@ def symbols_needed(num_bits: int, q: int) -> int:
     base-2 logarithm: the smallest ``d'`` with ``q**d' >= 2**num_bits``.  (For
     non-power-of-two fields this differs from dividing by the *transmission*
     cost ``ceil(lg q)`` of a symbol, which would under-provision capacity.)
+    Cached: the coding hot path asks the same (d, q) pair every round.
     """
     if num_bits < 0:
         raise ValueError(f"bit count must be non-negative, got {num_bits}")

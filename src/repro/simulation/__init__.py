@@ -2,13 +2,17 @@
 
 from .experiments import (
     Measurement,
+    SweepCache,
     SweepPoint,
+    SweepTask,
     fit_power_law,
     format_table,
     measure,
     ratio_table,
+    run_sweep_task,
     standard_instance,
     sweep,
+    sweep_tasks,
 )
 from .metrics import RunMetrics
 from .runner import RunResult, build_nodes, run_dissemination
@@ -17,13 +21,17 @@ __all__ = [
     "Measurement",
     "RunMetrics",
     "RunResult",
+    "SweepCache",
     "SweepPoint",
+    "SweepTask",
     "build_nodes",
     "fit_power_law",
     "format_table",
     "measure",
     "ratio_table",
     "run_dissemination",
+    "run_sweep_task",
     "standard_instance",
     "sweep",
+    "sweep_tasks",
 ]

@@ -4,13 +4,31 @@ The paper's claims are asymptotic; the benchmarks validate them by sweeping
 a parameter (``n``, ``b``, ``T``, ...), averaging completion rounds over a
 few seeds, and fitting power laws / comparing ratios.  This module holds
 the shared machinery so each benchmark file stays declarative.
+
+Two sweep execution modes are provided:
+
+* :func:`sweep` — the classic callable-per-point runner, optionally fanned
+  out over a process pool when the runner is picklable;
+* :func:`sweep_tasks` — a declarative, fully picklable description
+  (:class:`SweepTask`) of each point that always parallelises cleanly and
+  can be memoised in a :class:`SweepCache` (a JSON file keyed by factory,
+  configuration, adversary and seeds).
+
+Per-point seeding is self-contained in both modes, so serial and parallel
+execution produce bit-identical :class:`Measurement` values.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+import pickle
 import statistics
-from dataclasses import dataclass, field
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -24,9 +42,13 @@ from .runner import RunResult, run_dissemination
 __all__ = [
     "Measurement",
     "SweepPoint",
+    "SweepTask",
+    "SweepCache",
     "measure",
     "standard_instance",
     "sweep",
+    "sweep_tasks",
+    "run_sweep_task",
     "fit_power_law",
     "ratio_table",
     "format_table",
@@ -121,12 +143,228 @@ def measure(
 def sweep(
     points: Iterable[Mapping[str, object]],
     runner: Callable[[Mapping[str, object]], Measurement],
+    *,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
-    """Evaluate ``runner`` at every parameter point."""
-    results = []
-    for parameters in points:
-        results.append(SweepPoint(parameters=dict(parameters), measurement=runner(parameters)))
-    return results
+    """Evaluate ``runner`` at every parameter point.
+
+    With ``max_workers > 1`` the points are fanned out over a process pool
+    (results keep the input order, and each point seeds its own randomness,
+    so the measurements are identical to a serial run).  A runner that
+    cannot be pickled — e.g. a lambda closing over local state — falls back
+    to the serial path with a warning; use :func:`sweep_tasks` for sweeps
+    that must parallelise.
+    """
+    point_list = [dict(p) for p in points]
+    if max_workers is not None and max_workers > 1 and len(point_list) > 1:
+        try:
+            pickle.dumps(runner)
+            picklable = True
+        except Exception:
+            picklable = False
+            warnings.warn(
+                "sweep(): runner is not picklable; running serially. "
+                "Use sweep_tasks() for guaranteed parallel execution.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if picklable:
+            with ProcessPoolExecutor(max_workers=max_workers) as executor:
+                measurements = list(executor.map(runner, point_list))
+            return [
+                SweepPoint(parameters=parameters, measurement=measurement)
+                for parameters, measurement in zip(point_list, measurements)
+            ]
+    return [
+        SweepPoint(parameters=parameters, measurement=runner(parameters))
+        for parameters in point_list
+    ]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """A fully declarative (and picklable) description of one sweep point.
+
+    The task pins everything a worker process needs: the protocol factory,
+    the shared configuration, the adversary, and every seed involved — the
+    instance seed that places the tokens and the base seed that drives the
+    repetitions.  Running the same task twice (in any process) therefore
+    yields the same :class:`Measurement`, which is also what makes the
+    results cacheable.
+    """
+
+    factory: ProtocolFactory
+    config: ProtocolConfig
+    adversary_factory: Callable[[], Adversary]
+    parameters: Mapping[str, object] = field(default_factory=dict)
+    instance_k: int | None = None
+    instance_seed: int = 0
+    copies: int = 1
+    repetitions: int = 3
+    base_seed: int = 1
+    max_rounds: int | None = None
+
+    @staticmethod
+    def _identity_digest(obj: object) -> str:
+        """An identity string for a task component that never collides silently.
+
+        Pickle is content-faithful where repr is not: classes and top-level
+        functions pickle by reference (stable across runs), ``partial``
+        pickles with its bound arguments, and configs pickle with their full
+        ``extra`` payloads (``repr`` would truncate large numpy arrays into
+        identical '...' strings).  Unpicklable objects (lambdas, closures)
+        fall back to ``repr``, whose embedded object address makes the key
+        unstable — such tasks simply never hit the cache, which is safe,
+        rather than sharing a truncated key, which would serve wrong
+        measurements.
+        """
+        try:
+            return hashlib.sha256(pickle.dumps(obj)).hexdigest()
+        except Exception:
+            return repr(obj)
+
+    def cache_key(self) -> str:
+        """A stable digest of everything that determines the measurement.
+
+        ``parameters`` is display metadata and deliberately excluded.  The
+        package version is salted in so behaviour-changing releases (which
+        shift RNG streams and round counts even for identical tasks)
+        invalidate previously cached measurements; bump
+        ``repro.__version__`` when protocol behaviour changes.
+        """
+        from .. import __version__
+
+        material = "|".join(
+            [
+                __version__,
+                self._identity_digest(self.factory),
+                self._identity_digest(self.config),
+                self._identity_digest(self.adversary_factory),
+                str(self.instance_k),
+                str(self.instance_seed),
+                str(self.copies),
+                str(self.repetitions),
+                str(self.base_seed),
+                str(self.max_rounds),
+            ]
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+
+def run_sweep_task(task: SweepTask) -> Measurement:
+    """Execute one :class:`SweepTask` (the unit of work sent to a worker)."""
+    placement = standard_instance(
+        task.config.n,
+        task.instance_k if task.instance_k is not None else task.config.k,
+        task.config.token_bits,
+        seed=task.instance_seed,
+        copies=task.copies,
+    )
+    return measure(
+        task.factory,
+        task.config,
+        placement,
+        task.adversary_factory,
+        repetitions=task.repetitions,
+        base_seed=task.base_seed,
+        max_rounds=task.max_rounds,
+    )
+
+
+class SweepCache:
+    """A JSON-file-backed memo of sweep measurements.
+
+    Entries are keyed by :meth:`SweepTask.cache_key` — a digest of (factory,
+    config, adversary, seeds) — so re-running a benchmark only recomputes
+    points whose definition changed.  The file is human-readable JSON, one
+    entry per key, safe to delete at any time.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                self._entries = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                self._entries = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Measurement | None:
+        """The cached measurement for ``key``, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        try:
+            return Measurement(**entry)
+        except TypeError:
+            return None
+
+    def put(self, key: str, measurement: Measurement) -> None:
+        """Record a measurement (call :meth:`save` to persist)."""
+        self._entries[key] = asdict(measurement)
+
+    def save(self) -> None:
+        """Write the cache file atomically."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self._entries, indent=1, sort_keys=True))
+        tmp.replace(self.path)
+
+
+def sweep_tasks(
+    tasks: Sequence[SweepTask],
+    *,
+    max_workers: int | None = None,
+    cache: SweepCache | str | Path | None = None,
+) -> list[SweepPoint]:
+    """Evaluate declarative sweep tasks, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    tasks:
+        The points to evaluate.  Order is preserved in the result.
+    max_workers:
+        ``None`` or ``<= 1`` runs serially; larger values fan the uncached
+        tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        Each task is fully self-seeded, so the measurements are identical
+        either way.
+    cache:
+        A :class:`SweepCache` (or a path to create one) consulted before
+        running and updated (and saved) afterwards.
+    """
+    if cache is not None and not isinstance(cache, SweepCache):
+        cache = SweepCache(cache)
+
+    measurements: list[Measurement | None] = [None] * len(tasks)
+    pending: list[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            hit = cache.get(task.cache_key())
+            if hit is not None:
+                measurements[index] = hit
+                continue
+        pending.append(index)
+
+    if pending:
+        if max_workers is not None and max_workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=max_workers) as executor:
+                computed = list(executor.map(run_sweep_task, [tasks[i] for i in pending]))
+        else:
+            computed = [run_sweep_task(tasks[i]) for i in pending]
+        for index, measurement in zip(pending, computed):
+            measurements[index] = measurement
+            if cache is not None:
+                cache.put(tasks[index].cache_key(), measurement)
+        if cache is not None:
+            cache.save()
+
+    return [
+        SweepPoint(parameters=dict(task.parameters), measurement=measurement)
+        for task, measurement in zip(tasks, measurements)
+    ]
 
 
 def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:

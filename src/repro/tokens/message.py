@@ -119,9 +119,24 @@ class TokenForwardMessage(Message):
         return total
 
 
-@dataclass(frozen=True)
 class CodedMessage(Message):
     """A random-linear-network-coding message.
+
+    Two equivalent representations are supported:
+
+    * **Tuple form** (any field): explicit ``coefficients`` and ``payload``
+      tuples of ``F_q`` symbols.
+    * **Packed form** (GF(2) only): a single integer bit ``mask`` holding the
+      augmented vector ``[coefficients | payload]`` (bit ``i`` is coordinate
+      ``i``), together with the split point ``k`` and the payload length
+      ``payload_symbols``.  This is the mask-native wire format the coded hot
+      path uses so a vector is never expanded into per-symbol tuples between
+      ``compose`` and ``deliver``.
+
+    The ``coefficients`` / ``payload`` accessors work for both forms (for a
+    packed message they materialise tuples lazily and cache them), so
+    consumers that only inspect dimensions should prefer the cheap
+    :attr:`num_coefficients` / :attr:`num_payload_symbols`.
 
     Attributes
     ----------
@@ -139,14 +154,142 @@ class CodedMessage(Message):
     dimension_ids:
         Optional explicit identifiers of the coded dimensions when indices
         are not globally agreed (costed explicitly when present).
+    mask:
+        Packed GF(2) augmented vector, or None in tuple form.
     """
 
-    coefficients: tuple[int, ...] = ()
-    payload: tuple[int, ...] = ()
-    field_order: int = 2
-    generation: int = 0
-    dimension_ids: tuple[TokenId, ...] | None = None
+    def __init__(
+        self,
+        sender: int,
+        coefficients: tuple[int, ...] = (),
+        payload: tuple[int, ...] = (),
+        field_order: int = 2,
+        generation: int = 0,
+        dimension_ids: tuple[TokenId, ...] | None = None,
+        *,
+        mask: int | None = None,
+        k: int | None = None,
+        payload_symbols: int | None = None,
+    ):
+        object.__setattr__(self, "sender", sender)
+        object.__setattr__(self, "field_order", int(field_order))
+        object.__setattr__(self, "generation", int(generation))
+        object.__setattr__(self, "dimension_ids", dimension_ids)
+        if mask is not None:
+            if field_order != 2:
+                raise ValueError("packed coded messages require GF(2)")
+            if k is None or payload_symbols is None:
+                raise ValueError("packed form needs mask, k and payload_symbols")
+            if coefficients or payload:
+                raise ValueError("give either (coefficients, payload) or a mask, not both")
+            mask = int(mask)
+            if mask < 0 or mask.bit_length() > k + payload_symbols:
+                raise ValueError(
+                    f"mask of {mask.bit_length()} bits does not fit k + d' = "
+                    f"{k + payload_symbols}"
+                )
+            object.__setattr__(self, "mask", mask)
+            object.__setattr__(self, "k", int(k))
+            object.__setattr__(self, "payload_symbols", int(payload_symbols))
+            object.__setattr__(self, "_coefficients", None)
+            object.__setattr__(self, "_payload", None)
+        else:
+            if k is not None or payload_symbols is not None:
+                raise ValueError("k / payload_symbols are only valid with a mask")
+            object.__setattr__(self, "mask", None)
+            object.__setattr__(self, "k", len(coefficients))
+            object.__setattr__(self, "payload_symbols", len(payload))
+            object.__setattr__(self, "_coefficients", tuple(coefficients))
+            object.__setattr__(self, "_payload", tuple(payload))
 
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mask(
+        cls,
+        sender: int,
+        mask: int,
+        k: int,
+        payload_symbols: int,
+        generation: int = 0,
+        dimension_ids: tuple[TokenId, ...] | None = None,
+    ) -> "CodedMessage":
+        """Build a packed GF(2) message from an augmented-vector bit mask."""
+        return cls(
+            sender=sender,
+            generation=generation,
+            dimension_ids=dimension_ids,
+            mask=mask,
+            k=k,
+            payload_symbols=payload_symbols,
+        )
+
+    # ------------------------------------------------------------------
+    # representation accessors
+    # ------------------------------------------------------------------
+    @property
+    def is_packed(self) -> bool:
+        """True when this message carries the packed GF(2) wire format."""
+        return self.mask is not None
+
+    @property
+    def num_coefficients(self) -> int:
+        """Number of coded dimensions (cheap for both forms)."""
+        return self.k
+
+    @property
+    def num_payload_symbols(self) -> int:
+        """Number of payload symbols (cheap for both forms)."""
+        return self.payload_symbols
+
+    @property
+    def coefficients(self) -> tuple[int, ...]:
+        """The coefficient symbols (lazily unpacked for packed messages)."""
+        cached = self._coefficients
+        if cached is None:
+            mask = self.mask
+            cached = tuple((mask >> i) & 1 for i in range(self.k))
+            object.__setattr__(self, "_coefficients", cached)
+        return cached
+
+    @property
+    def payload(self) -> tuple[int, ...]:
+        """The payload symbols (lazily unpacked for packed messages)."""
+        cached = self._payload
+        if cached is None:
+            shifted = self.mask >> self.k
+            cached = tuple((shifted >> i) & 1 for i in range(self.payload_symbols))
+            object.__setattr__(self, "_payload", cached)
+        return cached
+
+    def coefficient_mask(self) -> int:
+        """The coefficient block as a bit mask (GF(2) messages only)."""
+        if self.mask is not None:
+            return self.mask & ((1 << self.k) - 1)
+        if self.field_order != 2:
+            raise ValueError("coefficient_mask is only defined over GF(2)")
+        mask = 0
+        for i, value in enumerate(self._coefficients):
+            if int(value) & 1:
+                mask |= 1 << i
+        return mask
+
+    def payload_mask(self) -> int:
+        """The payload block as a bit mask (GF(2) messages only)."""
+        if self.mask is not None:
+            return self.mask >> self.k
+        if self.field_order != 2:
+            raise ValueError("payload_mask is only defined over GF(2)")
+        mask = 0
+        for i, value in enumerate(self._payload):
+            if int(value) & 1:
+                mask |= 1 << i
+        return mask
+
+    # ------------------------------------------------------------------
+    # size accounting (identical for both forms)
+    # ------------------------------------------------------------------
     @property
     def symbol_bits(self) -> int:
         """Bits per ``F_q`` symbol."""
@@ -155,7 +298,7 @@ class CodedMessage(Message):
     @property
     def header_bits(self) -> int:
         """Cost of the coefficient header (the paper's coding overhead)."""
-        bits = len(self.coefficients) * self.symbol_bits
+        bits = self.num_coefficients * self.symbol_bits
         if self.dimension_ids is not None:
             bits += sum(tid.bits for tid in self.dimension_ids)
         return bits
@@ -163,12 +306,46 @@ class CodedMessage(Message):
     @property
     def payload_bits(self) -> int:
         """Cost of the coded payload."""
-        return len(self.payload) * self.symbol_bits
+        return self.num_payload_symbols * self.symbol_bits
 
     @property
     def size_bits(self) -> int:
         generation_bits = max(1, int(self.generation).bit_length())
         return self.header_bits + self.payload_bits + generation_bits
+
+    # ------------------------------------------------------------------
+    # value semantics (a packed message equals its tuple-form twin)
+    # ------------------------------------------------------------------
+    def _identity(self) -> tuple:
+        return (
+            self.sender,
+            self.field_order,
+            self.generation,
+            self.dimension_ids,
+            self.coefficients,
+            self.payload,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # Exact-class comparison (matching the previous dataclass semantics):
+        # a FreeHeaderCodedMessage is never equal to a plain CodedMessage,
+        # but packed and tuple forms of the same message are equal.
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_packed:
+            body = f"mask={self.mask:#x}, k={self.k}, payload_symbols={self.payload_symbols}"
+        else:
+            body = f"coefficients={self._coefficients!r}, payload={self._payload!r}"
+        return (
+            f"{type(self).__name__}(sender={self.sender}, {body}, "
+            f"field_order={self.field_order}, generation={self.generation})"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,157 @@
+"""Tests for the process-parallel sweep executor and its JSON result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms import IndexedBroadcastNode, TokenForwardingNode
+from repro.network import BottleneckAdversary, RandomConnectedAdversary
+from repro.simulation import (
+    Measurement,
+    SweepCache,
+    SweepTask,
+    run_sweep_task,
+    sweep,
+    sweep_tasks,
+)
+
+from tests.conftest import make_config
+
+
+def _tasks(ns=(6, 10), repetitions=2):
+    return [
+        SweepTask(
+            factory=IndexedBroadcastNode,
+            config=make_config(n),
+            adversary_factory=BottleneckAdversary,
+            parameters={"n": n},
+            repetitions=repetitions,
+        )
+        for n in ns
+    ]
+
+
+def run_point(parameters):
+    """Module-level runner (picklable) for the classic sweep() API."""
+    task = SweepTask(
+        factory=TokenForwardingNode,
+        config=make_config(int(parameters["n"])),
+        adversary_factory=RandomConnectedAdversary,
+        repetitions=2,
+    )
+    return run_sweep_task(task)
+
+
+class TestParallelMatchesSerial:
+    def test_sweep_tasks_identical_measurements(self):
+        tasks = _tasks()
+        serial = sweep_tasks(tasks, max_workers=1)
+        parallel = sweep_tasks(tasks, max_workers=2)
+        assert [p.parameters for p in serial] == [p.parameters for p in parallel]
+        assert [p.measurement for p in serial] == [p.measurement for p in parallel]
+
+    def test_sweep_runner_api_parallel(self):
+        points = [{"n": 6}, {"n": 9}]
+        serial = sweep(points, run_point)
+        parallel = sweep(points, run_point, max_workers=2)
+        assert [p.measurement for p in serial] == [p.measurement for p in parallel]
+
+    def test_sweep_unpicklable_runner_falls_back_to_serial(self):
+        seen = []
+
+        def runner(parameters):  # closure: not picklable by reference
+            seen.append(parameters["n"])
+            return run_point(parameters)
+
+        results = sweep([{"n": 6}], runner, max_workers=4)
+        assert seen == [6]
+        assert len(results) == 1
+
+    def test_task_is_deterministic(self):
+        task = _tasks(ns=(8,))[0]
+        assert run_sweep_task(task) == run_sweep_task(task)
+
+
+class TestSweepCache:
+    def test_cache_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        tasks = _tasks()
+        first = sweep_tasks(tasks, cache=path)
+        assert path.exists()
+        entries = json.loads(path.read_text())
+        assert len(entries) == len(tasks)
+
+        # Second run must be served from the cache: poison run_sweep_task via
+        # a task whose config would crash if executed.
+        cached = sweep_tasks(tasks, cache=SweepCache(path))
+        assert [p.measurement for p in first] == [p.measurement for p in cached]
+
+    def test_cache_hit_skips_execution(self, tmp_path, monkeypatch):
+        path = tmp_path / "cache.json"
+        tasks = _tasks(ns=(6,))
+        sweep_tasks(tasks, cache=path)
+
+        import repro.simulation.experiments as experiments
+
+        def boom(task):
+            raise AssertionError("cache miss: run_sweep_task should not run")
+
+        monkeypatch.setattr(experiments, "run_sweep_task", boom)
+        results = sweep_tasks(tasks, cache=path)
+        assert isinstance(results[0].measurement, Measurement)
+
+    def test_key_distinguishes_seeds_and_protocols(self):
+        base = _tasks(ns=(6,))[0]
+        other_seed = SweepTask(
+            factory=base.factory,
+            config=base.config,
+            adversary_factory=base.adversary_factory,
+            repetitions=base.repetitions,
+            base_seed=base.base_seed + 1,
+        )
+        other_factory = SweepTask(
+            factory=TokenForwardingNode,
+            config=base.config,
+            adversary_factory=base.adversary_factory,
+            repetitions=base.repetitions,
+        )
+        keys = {base.cache_key(), other_seed.cache_key(), other_factory.cache_key()}
+        assert len(keys) == 3
+
+    def test_key_never_collides_for_distinct_lambdas(self):
+        # Lambdas share a qualname; the key must not treat them as the same
+        # adversary (an unstable key — never a silent wrong cache hit).
+        base = _tasks(ns=(6,))[0]
+        adversaries = [lambda: BottleneckAdversary(), lambda: BottleneckAdversary()]
+        a, b = (
+            SweepTask(
+                factory=base.factory,
+                config=base.config,
+                adversary_factory=adversary,
+            )
+            for adversary in adversaries
+        )
+        assert a.cache_key() != b.cache_key()
+
+    def test_partial_arguments_distinguish_keys(self):
+        import functools
+
+        base = _tasks(ns=(6,))[0]
+        a, b = (
+            SweepTask(
+                factory=base.factory,
+                config=base.config,
+                adversary_factory=functools.partial(RandomConnectedAdversary, seed=seed),
+            )
+            for seed in (1, 2)
+        )
+        assert a.cache_key() != b.cache_key()
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        results = sweep_tasks(_tasks(ns=(6,)), cache=path)
+        assert len(results) == 1
+        assert json.loads(path.read_text())  # rewritten as valid JSON
