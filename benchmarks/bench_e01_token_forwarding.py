@@ -3,7 +3,8 @@
 Regenerates the baseline curve: completion rounds of the phase-based
 knowledge-based token-forwarding algorithm against the adaptive bottleneck
 adversary, swept over n (with k = n, d = log n-ish) and over b, compared to
-the predicted nkd/b + n.
+the predicted nkd/b + n.  Both sweeps run on the process-parallel
+``measure_sweep`` harness with cross-run memoisation.
 """
 
 from __future__ import annotations
@@ -15,37 +16,52 @@ from repro.analysis import token_forwarding_rounds
 from repro.network import BottleneckAdversary
 from repro.simulation import fit_power_law
 
-from common import make_config, measure_rounds, print_rows, run_once
+from common import make_config, measure_sweep, print_rows, run_once
+
+
+def _config_n(point):
+    return make_config(int(point["n"]), d=8, b=24)
+
+
+def _config_b(point):
+    return make_config(24, d=8, b=int(point["b"]))
 
 
 def _sweep_n(sizes=(8, 16, 24, 32)):
-    rows = []
-    for n in sizes:
-        config = make_config(n, d=8, b=24)
-        m = measure_rounds(TokenForwardingNode, config, BottleneckAdversary, repetitions=2)
-        rows.append(
-            {
-                "n": n,
-                "rounds": round(m.rounds_mean, 1),
-                "predicted~": round(token_forwarding_rounds(n, n, 8, 24), 1),
-            }
-        )
-    return rows
+    points = measure_sweep(
+        TokenForwardingNode,
+        [{"n": n} for n in sizes],
+        _config_n,
+        BottleneckAdversary,
+        repetitions=2,
+    )
+    return [
+        {
+            "n": int(p.parameters["n"]),
+            "rounds": round(p.measurement.rounds_mean, 1),
+            "predicted~": round(token_forwarding_rounds(int(p.parameters["n"]), int(p.parameters["n"]), 8, 24), 1),
+        }
+        for p in points
+    ]
 
 
-def _sweep_b(n=24, b_values=(16, 32, 64, 128)):
-    rows = []
-    for b in b_values:
-        config = make_config(n, d=8, b=b)
-        m = measure_rounds(TokenForwardingNode, config, BottleneckAdversary, repetitions=2)
-        rows.append(
-            {
-                "b": b,
-                "rounds": round(m.rounds_mean, 1),
-                "predicted~": round(token_forwarding_rounds(n, n, 8, b), 1),
-            }
-        )
-    return rows
+def _sweep_b(b_values=(16, 32, 64, 128)):
+    n = 24
+    points = measure_sweep(
+        TokenForwardingNode,
+        [{"b": b} for b in b_values],
+        _config_b,
+        BottleneckAdversary,
+        repetitions=2,
+    )
+    return [
+        {
+            "b": int(p.parameters["b"]),
+            "rounds": round(p.measurement.rounds_mean, 1),
+            "predicted~": round(token_forwarding_rounds(n, n, 8, int(p.parameters["b"])), 1),
+        }
+        for p in points
+    ]
 
 
 def test_e01_forwarding_scales_quadratically_in_n(benchmark):

@@ -2,7 +2,8 @@
 
 Fixes n = k and sweeps b; the dominant nkd/b^2 term should make the measured
 rounds fall clearly faster with b than the token-forwarding baseline's
-nkd/b, and coding should win the head-to-head at equal b.
+nkd/b, and coding should win the head-to-head at equal b.  Both protocol
+sweeps run on the process-parallel ``measure_sweep`` harness.
 """
 
 from __future__ import annotations
@@ -11,25 +12,33 @@ from repro.algorithms import GreedyForwardNode, TokenForwardingNode
 from repro.analysis import greedy_forward_rounds, token_forwarding_rounds
 from repro.network import BottleneckAdversary
 
-from common import make_config, measure_rounds, print_rows, run_once
+from common import make_config, measure_sweep, print_rows, run_once
+
+
+def _config_b(point):
+    return make_config(24, d=8, b=int(point["b"]))
 
 
 def test_e03_greedy_forward_message_size_sweep(benchmark):
     n = 24
+    b_points = [{"b": b} for b in (48, 96, 192)]
+    greedy = measure_sweep(
+        GreedyForwardNode, b_points, _config_b, BottleneckAdversary, repetitions=2
+    )
+    forwarding = measure_sweep(
+        TokenForwardingNode, b_points, _config_b, BottleneckAdversary, repetitions=2
+    )
     rows = []
-    for b in (48, 96, 192):
-        coded = measure_rounds(
-            GreedyForwardNode, make_config(n, d=8, b=b), BottleneckAdversary, repetitions=2
-        )
-        forwarding = measure_rounds(
-            TokenForwardingNode, make_config(n, d=8, b=b), BottleneckAdversary, repetitions=2
-        )
+    for coded_point, forwarding_point in zip(greedy, forwarding):
+        b = int(coded_point.parameters["b"])
+        coded_m = coded_point.measurement
+        forwarding_m = forwarding_point.measurement
         rows.append(
             {
                 "b": b,
-                "greedy_rounds": round(coded.rounds_mean, 1),
-                "forwarding_rounds": round(forwarding.rounds_mean, 1),
-                "speedup": round(forwarding.rounds_mean / max(1.0, coded.rounds_mean), 2),
+                "greedy_rounds": round(coded_m.rounds_mean, 1),
+                "forwarding_rounds": round(forwarding_m.rounds_mean, 1),
+                "speedup": round(forwarding_m.rounds_mean / max(1.0, coded_m.rounds_mean), 2),
                 "predicted_greedy~": round(greedy_forward_rounds(n, n, 8, b), 1),
                 "predicted_forwarding~": round(token_forwarding_rounds(n, n, 8, b), 1),
             }

@@ -1,7 +1,8 @@
 """E4 (Theorem 7.5 / Lemma 7.4): priority-forward for large message sizes.
 
 Sweeps b in the regime where greedy-forward's additive nb term starts to
-hurt; priority-forward keeps improving and stays competitive.
+hurt; priority-forward keeps improving and stays competitive.  Both
+protocol sweeps run on the process-parallel ``measure_sweep`` harness.
 """
 
 from __future__ import annotations
@@ -10,24 +11,30 @@ from repro.algorithms import GreedyForwardNode, PriorityForwardNode
 from repro.analysis import greedy_forward_rounds, priority_forward_rounds
 from repro.network import BottleneckAdversary
 
-from common import make_config, measure_rounds, print_rows, run_once
+from common import make_config, measure_sweep, print_rows, run_once
+
+
+def _config_b(point):
+    return make_config(24, d=8, b=int(point["b"]))
 
 
 def test_e04_priority_forward_large_messages(benchmark):
     n = 24
+    b_points = [{"b": b} for b in (64, 128, 256)]
+    priority = measure_sweep(
+        PriorityForwardNode, b_points, _config_b, BottleneckAdversary, repetitions=2
+    )
+    greedy = measure_sweep(
+        GreedyForwardNode, b_points, _config_b, BottleneckAdversary, repetitions=2
+    )
     rows = []
-    for b in (64, 128, 256):
-        priority = measure_rounds(
-            PriorityForwardNode, make_config(n, d=8, b=b), BottleneckAdversary, repetitions=2
-        )
-        greedy = measure_rounds(
-            GreedyForwardNode, make_config(n, d=8, b=b), BottleneckAdversary, repetitions=2
-        )
+    for priority_point, greedy_point in zip(priority, greedy):
+        b = int(priority_point.parameters["b"])
         rows.append(
             {
                 "b": b,
-                "priority_rounds": round(priority.rounds_mean, 1),
-                "greedy_rounds": round(greedy.rounds_mean, 1),
+                "priority_rounds": round(priority_point.measurement.rounds_mean, 1),
+                "greedy_rounds": round(greedy_point.measurement.rounds_mean, 1),
                 "predicted_priority~": round(priority_forward_rounds(n, n, 8, b), 1),
                 "predicted_greedy~": round(greedy_forward_rounds(n, n, 8, b), 1),
             }

@@ -10,15 +10,39 @@ forwarding's, and the patch protocol's absolute rounds shrink as T grows.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.algorithms import PipelinedTokenForwardingNode, make_tstable_factory
 from repro.analysis import token_forwarding_rounds, tstable_coded_rounds
 from repro.network import PathShuffleAdversary, TStableAdversary
 from repro.simulation import run_dissemination, standard_instance
 
-from common import make_config, print_rows
+from common import make_config, measure_sweep, print_rows
+
+
+def _tstable_adversary(stability: int, seed: int = 1) -> TStableAdversary:
+    return TStableAdversary(PathShuffleAdversary(seed=seed), stability)
+
+
+def _patch_config(point):
+    n = 24
+    return make_config(n, d=8, b=n + 32, stability=int(point["T"]))
+
+
+def _patch_factory(point):
+    return make_tstable_factory(_patch_config(point), seed=0)
+
+
+def _forwarding_config(point):
+    return make_config(24, d=8, b=24, stability=int(point["T"]))
+
+
+def _adversary_for(point):
+    return partial(_tstable_adversary, int(point["T"]))
 
 
 def _run_patch(n: int, stability: int, seed: int = 0) -> int:
+    """One direct patch-protocol run (used for the wall-clock fixture)."""
     config = make_config(n, d=8, b=n + 32, stability=stability)
     placement = standard_instance(n, None, 8, seed=seed)
     factory = make_tstable_factory(config, seed=seed)
@@ -28,21 +52,36 @@ def _run_patch(n: int, stability: int, seed: int = 0) -> int:
     return result.rounds
 
 
-def _run_forwarding(n: int, stability: int, seed: int = 0) -> int:
-    config = make_config(n, d=8, b=24, stability=stability)
-    placement = standard_instance(n, None, 8, seed=seed)
-    adversary = TStableAdversary(PathShuffleAdversary(seed=seed + 1), stability)
-    result = run_dissemination(PipelinedTokenForwardingNode, config, placement, adversary, seed=seed)
-    assert result.completed
-    return result.rounds
-
-
 def test_e06_stability_sweep(benchmark):
     n = 24
+    # Both sweeps ride measure_sweep (per-point factories and adversaries are
+    # picklable: TStablePatchFactory and a partial of a module-level builder),
+    # with base_seed=0 reproducing the pre-harness run seeds exactly.
+    t_points = [{"T": stability} for stability in (2, 8, 24)]
+    patch_points = measure_sweep(
+        None,
+        t_points,
+        _patch_config,
+        repetitions=1,
+        factory_for=_patch_factory,
+        adversary_for=_adversary_for,
+        base_seed=0,
+    )
+    forwarding_points = measure_sweep(
+        PipelinedTokenForwardingNode,
+        t_points,
+        _forwarding_config,
+        repetitions=1,
+        adversary_for=_adversary_for,
+        base_seed=0,
+    )
     rows = []
-    for stability in (2, 8, 24):
-        coded = _run_patch(n, stability)
-        forwarding = _run_forwarding(n, stability)
+    for patch_point, forwarding_point in zip(patch_points, forwarding_points):
+        stability = int(patch_point.parameters["T"])
+        assert patch_point.measurement.all_completed
+        assert forwarding_point.measurement.all_completed
+        coded = patch_point.measurement.rounds_min
+        forwarding = forwarding_point.measurement.rounds_min
         rows.append(
             {
                 "T": stability,

@@ -14,17 +14,29 @@ from repro.algorithms import IndexedBroadcastNode, TokenForwardingNode
 from repro.network import BottleneckAdversary
 from repro.simulation import fit_power_law
 
-from common import make_config, measure_rounds, print_rows, run_once
+from common import make_config, measure_sweep, print_rows, run_once
+
+
+def _config_n(point):
+    n = int(point["n"])
+    return make_config(n, d=8, b=n + 32)
 
 
 def test_e07_headline_speedup(benchmark):
     rows = []
     sizes = (8, 16, 32, 48)
+    n_points = [{"n": n} for n in sizes]
+    coded_points = measure_sweep(
+        IndexedBroadcastNode, n_points, _config_n, BottleneckAdversary, repetitions=2
+    )
+    forwarding_points = measure_sweep(
+        TokenForwardingNode, n_points, _config_n, BottleneckAdversary, repetitions=2
+    )
     coded_rounds, forwarding_rounds = [], []
-    for n in sizes:
-        b = n + 32
-        coded = measure_rounds(IndexedBroadcastNode, make_config(n, d=8, b=b), BottleneckAdversary, repetitions=2)
-        forwarding = measure_rounds(TokenForwardingNode, make_config(n, d=8, b=b), BottleneckAdversary, repetitions=2)
+    for coded_point, forwarding_point in zip(coded_points, forwarding_points):
+        n = int(coded_point.parameters["n"])
+        coded = coded_point.measurement
+        forwarding = forwarding_point.measurement
         coded_rounds.append(coded.rounds_mean)
         forwarding_rounds.append(forwarding.rounds_mean)
         rows.append(

@@ -14,10 +14,16 @@ from repro.algorithms import RandomForwardNode
 from repro.network import PathShuffleAdversary
 from repro.simulation import run_dissemination, standard_instance
 
-from common import make_config, print_rows
+from common import make_config, print_rows, sweep_map
 
 
 def _max_gathered(n: int, k: int, b: int, seed: int = 0):
+    """Max per-node token count and waste after n rounds (sweep_map point).
+
+    Runs a custom (non-completion) measurement, so it rides the generic
+    :func:`common.sweep_map` harness rather than ``measure_sweep``; the
+    return value is a JSON-able list so the cross-run memo can replay it.
+    """
     config = make_config(n, k=k, d=8, b=b)
     placement = standard_instance(n, k, 8, seed=seed)
     result = run_dissemination(
@@ -25,15 +31,15 @@ def _max_gathered(n: int, k: int, b: int, seed: int = 0):
         max_rounds=n, stop_at_completion=False, seed=seed,
     )
     best = max(len(node.known_token_ids()) for node in result.nodes)
-    return best, result.metrics.waste_fraction
+    return [best, result.metrics.waste_fraction]
 
 
 def test_e08_gathering_bound(benchmark):
     n = 32
     b = 32
     rows = []
-    for k in (8, 16, 32):
-        best, waste = _max_gathered(n, k, b)
+    gathered = sweep_map(_max_gathered, [{"n": n, "k": k, "b": b} for k in (8, 16, 32)])
+    for k, (best, waste) in zip((8, 16, 32), gathered):
         bound = math.sqrt(b * k / 8)
         rows.append(
             {

@@ -25,10 +25,16 @@ from repro.network import BottleneckAdversary, OmniscientBottleneckAdversary
 from repro.simulation import run_dissemination
 from repro.tokens import make_tokens, place_tokens
 
-from common import print_rows
+from common import print_rows, sweep_map
+
+_ADVERSARIES = {
+    "adaptive": BottleneckAdversary,
+    "omniscient": OmniscientBottleneckAdversary,
+}
 
 
-def _run_deterministic(n: int, k: int, adversary, seed: int = 0) -> int:
+def _run_deterministic(n: int, k: int, adversary: str, seed: int = 0) -> int:
+    """One schedule-driven run (sweep_map point; adversary passed by name)."""
     rng = np.random.default_rng(seed)
     tokens = make_tokens(k, 8, rng)
     placement = place_tokens(tokens, n, rng)
@@ -39,8 +45,8 @@ def _run_deterministic(n: int, k: int, adversary, seed: int = 0) -> int:
         extra={**dict(base.extra), "index_of": index_of},
     )
     result = run_dissemination(
-        DeterministicIndexedBroadcastNode, config, placement, adversary, seed=seed,
-        max_rounds=40 * n,
+        DeterministicIndexedBroadcastNode, config, placement, _ADVERSARIES[adversary](),
+        seed=seed, max_rounds=40 * n,
     )
     assert result.completed and result.correct
     return result.rounds
@@ -69,9 +75,16 @@ def test_e09_union_bound_table(benchmark):
 
 def test_e09_deterministic_broadcast_runs(benchmark):
     rows = []
-    for n, k in [(6, 2), (8, 3)]:
-        adaptive_rounds = _run_deterministic(n, k, BottleneckAdversary(), seed=1)
-        omniscient_rounds = _run_deterministic(n, k, OmniscientBottleneckAdversary(), seed=2)
+    cases = [(6, 2), (8, 3)]
+    adaptive = sweep_map(
+        _run_deterministic,
+        [{"n": n, "k": k, "adversary": "adaptive", "seed": 1} for n, k in cases],
+    )
+    omniscient = sweep_map(
+        _run_deterministic,
+        [{"n": n, "k": k, "adversary": "omniscient", "seed": 2} for n, k in cases],
+    )
+    for (n, k), adaptive_rounds, omniscient_rounds in zip(cases, adaptive, omniscient):
         rows.append(
             {
                 "n": n,
@@ -84,5 +97,5 @@ def test_e09_deterministic_broadcast_runs(benchmark):
     print_rows("E9b — deterministic (schedule-driven) indexed broadcast", rows)
     assert all(r["rounds_vs_omniscient"] <= 10 * r["O(n+k)"] for r in rows)
     benchmark.pedantic(
-        lambda: _run_deterministic(6, 2, BottleneckAdversary(), seed=3), rounds=1, iterations=1
+        lambda: _run_deterministic(6, 2, "adaptive", seed=3), rounds=1, iterations=1
     )

@@ -12,17 +12,27 @@ from repro.analysis import centralized_coded_rounds, centralized_token_forwardin
 from repro.network import BottleneckAdversary
 from repro.simulation import fit_power_law
 
-from common import make_config, measure_rounds, print_rows, run_once
+from common import make_config, measure_sweep, print_rows, run_once
+
+
+def _config_n(point):
+    return make_config(int(point["n"]), d=8, b=16)
 
 
 def test_e10_centralized_linear_time(benchmark):
     rows = []
     sizes = (8, 16, 32, 48)
+    points = measure_sweep(
+        CentralizedCodedNode,
+        [{"n": n} for n in sizes],
+        _config_n,
+        BottleneckAdversary,
+        repetitions=2,
+    )
     measured = []
-    for n in sizes:
-        m = measure_rounds(
-            CentralizedCodedNode, make_config(n, d=8, b=16), BottleneckAdversary, repetitions=2
-        )
+    for point in points:
+        n = int(point.parameters["n"])
+        m = point.measurement
         measured.append(m.rounds_mean)
         rows.append(
             {

@@ -2,7 +2,9 @@
 
 This regenerates the "interesting value instantiations" as a table from the
 closed-form bounds (they concern asymptotic regimes far beyond simulation
-scale) and spot-checks the executable ones at laptop scale.
+scale) and spot-checks the executable ones at laptop scale.  The rows ride
+``sweep_map`` for uniformity with the rest of the suite (the formulas are
+microsecond-cheap, so the memo/parallelism are incidental here).
 """
 
 from __future__ import annotations
@@ -17,43 +19,46 @@ from repro.analysis import (
     token_forwarding_rounds,
 )
 
-from common import print_rows
+from common import print_rows, sweep_map
+
+_N = 2**14
 
 
-def test_e11_value_instantiations(benchmark):
-    rows = []
-    # Bullet 1: b = d = log n, k = n — coding wins by ~log n.
-    n = 2**14
+def _instantiation_row(bullet: int, n: int = _N) -> dict:
+    """One Section 2.3 bullet as a table row (sweep_map point)."""
     log_n = int(math.log2(n))
-    rows.append(
-        {
+    if bullet == 1:
+        # Bullet 1: b = d = log n, k = n — coding wins by ~log n.
+        return {
             "instantiation": "b=d=log n, k=n (counting case)",
             "forwarding~": f"{token_forwarding_rounds(n, n, log_n, log_n):.3g}",
             "coding~": f"{coded_dissemination_rounds(n, n, log_n, log_n):.3g}",
             "paper claim": "coding faster by Theta(log n)",
         }
-    )
-    # Bullet 2: message size needed for linear-time counting.
-    rows.append(
-        {
+    if bullet == 2:
+        # Bullet 2: message size needed for linear-time counting.
+        return {
             "instantiation": "b for linear-time counting (d=log n, k=n)",
             "forwarding~": f"{linear_time_message_size_forwarding(n):.3g}",
             "coding~": f"{linear_time_message_size_coded(n):.3g}",
             "paper claim": "sqrt(n log n) suffices with coding vs n log n",
         }
-    )
     # Bullet 3: stability needed for near-linear n-token dissemination.
-    rows.append(
-        {
-            "instantiation": "T for near-linear dissemination",
-            "forwarding~": f"{n ** 0.999:.3g} (essentially static)",
-            "coding~": (
-                f"{stability_for_near_linear_time(n):.3g} randomized / "
-                f"{stability_for_near_linear_time(n, deterministic=True):.3g} deterministic"
-            ),
-            "paper claim": "sqrt(n) (rand.) and n^(2/3) (det.) suffice",
-        }
-    )
+    return {
+        "instantiation": "T for near-linear dissemination",
+        "forwarding~": f"{n ** 0.999:.3g} (essentially static)",
+        "coding~": (
+            f"{stability_for_near_linear_time(n):.3g} randomized / "
+            f"{stability_for_near_linear_time(n, deterministic=True):.3g} deterministic"
+        ),
+        "paper claim": "sqrt(n) (rand.) and n^(2/3) (det.) suffice",
+    }
+
+
+def test_e11_value_instantiations(benchmark):
+    n = _N
+    log_n = int(math.log2(n))
+    rows = sweep_map(_instantiation_row, [{"bullet": bullet} for bullet in (1, 2, 3)])
     print_rows("E11 — Section 2.3 value instantiations (n = 2^14)", rows)
 
     ratio = token_forwarding_rounds(n, n, log_n, log_n) / coded_dissemination_rounds(

@@ -8,23 +8,24 @@ from __future__ import annotations
 
 from repro.analysis import compare_end_phase
 
-from common import print_rows
+from common import print_rows, sweep_map
+
+
+def _end_phase_row(k: int) -> dict:
+    """One end-phase comparison as a JSON-able row (sweep_map point)."""
+    comparison = compare_end_phase(k=k, trials=300, seed=k)
+    return {
+        "k": k,
+        "deterministic_forwarding": comparison.deterministic_forwarding,
+        "random_forwarding_expected": comparison.expected_random_forwarding,
+        "random_forwarding_measured": round(comparison.measured_random_forwarding, 1),
+        "network_coding (XOR)": comparison.coded,
+        "coding_advantage": round(comparison.coding_advantage, 1),
+    }
 
 
 def test_e12_end_phase_comparison(benchmark):
-    rows = []
-    for k in (8, 32, 128):
-        comparison = compare_end_phase(k=k, trials=300, seed=k)
-        rows.append(
-            {
-                "k": k,
-                "deterministic_forwarding": comparison.deterministic_forwarding,
-                "random_forwarding_expected": comparison.expected_random_forwarding,
-                "random_forwarding_measured": round(comparison.measured_random_forwarding, 1),
-                "network_coding (XOR)": comparison.coded,
-                "coding_advantage": round(comparison.coding_advantage, 1),
-            }
-        )
+    rows = sweep_map(_end_phase_row, [{"k": k} for k in (8, 32, 128)])
     print_rows("E12 — Section 5.2 end-phase scenario", rows)
     assert all(r["network_coding (XOR)"] == 1 for r in rows)
     assert all(

@@ -8,32 +8,46 @@ final successful run.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.algorithms import IndexedBroadcastNode, TokenForwardingNode, count_nodes_via_doubling
 from repro.network import RandomConnectedAdversary
 
-from common import print_rows
+from common import print_rows, sweep_map
+
+_PROTOCOLS = {
+    "token forwarding": TokenForwardingNode,
+    "RLNC broadcast": IndexedBroadcastNode,
+}
+
+
+def _doubling_row(protocol: str, n_true: int) -> dict:
+    """One doubling-driver outcome as a JSON-able row (sweep_map point)."""
+    outcome = count_nodes_via_doubling(
+        _PROTOCOLS[protocol], n_true=n_true, token_bits=8, b=96,
+        adversary_factory=partial(RandomConnectedAdversary, seed=n_true),
+    )
+    return {
+        "protocol": protocol,
+        "true n": n_true,
+        "estimate": outcome.estimate,
+        "exact count found": outcome.exact_count,
+        "attempts": outcome.attempts,
+        "total_rounds": outcome.total_rounds,
+        "final_run_rounds": outcome.final_rounds,
+        "overhead_factor": round(outcome.overhead_factor, 2),
+    }
 
 
 def test_e13_counting_by_doubling(benchmark):
-    rows = []
-    for name, factory in [("token forwarding", TokenForwardingNode), ("RLNC broadcast", IndexedBroadcastNode)]:
-        for n_true in (10, 20):
-            outcome = count_nodes_via_doubling(
-                factory, n_true=n_true, token_bits=8, b=96,
-                adversary_factory=lambda: RandomConnectedAdversary(seed=n_true),
-            )
-            rows.append(
-                {
-                    "protocol": name,
-                    "true n": n_true,
-                    "estimate": outcome.estimate,
-                    "exact count found": outcome.exact_count,
-                    "attempts": outcome.attempts,
-                    "total_rounds": outcome.total_rounds,
-                    "final_run_rounds": outcome.final_rounds,
-                    "overhead_factor": round(outcome.overhead_factor, 2),
-                }
-            )
+    rows = sweep_map(
+        _doubling_row,
+        [
+            {"protocol": protocol, "n_true": n_true}
+            for protocol in _PROTOCOLS
+            for n_true in (10, 20)
+        ],
+    )
     print_rows("E13 — counting the network size by repeated doubling", rows)
     assert all(r["exact count found"] == r["true n"] for r in rows)
     assert all(r["true n"] <= r["estimate"] < 4 * r["true n"] for r in rows)

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.network import compute_patches, random_connected_graph
 
-from common import print_rows
+from common import print_rows, sweep_map
 
 
 def _decompose(n: int, radius: int, seed: int = 0):
@@ -20,22 +20,23 @@ def _decompose(n: int, radius: int, seed: int = 0):
     return compute_patches(graph, radius=radius, rng=rng)
 
 
+def _patch_row(n: int, radius: int) -> dict:
+    """One decomposition's guarantee statistics (sweep_map point)."""
+    decomposition = _decompose(n, radius)
+    return {
+        "D": radius,
+        "num_patches": len(decomposition.patches),
+        "min_patch_size": decomposition.min_patch_size,
+        "size_guarantee D/2": radius / 2,
+        "max_tree_height": max(p.height for p in decomposition.patches),
+        "diameter_guarantee 2D": 2 * radius,
+        "luby_phases": decomposition.mis_rounds,
+    }
+
+
 def test_e14_patch_guarantees(benchmark):
     n = 60
-    rows = []
-    for radius in (2, 3, 5):
-        decomposition = _decompose(n, radius)
-        rows.append(
-            {
-                "D": radius,
-                "num_patches": len(decomposition.patches),
-                "min_patch_size": decomposition.min_patch_size,
-                "size_guarantee D/2": radius / 2,
-                "max_tree_height": max(p.height for p in decomposition.patches),
-                "diameter_guarantee 2D": 2 * radius,
-                "luby_phases": decomposition.mis_rounds,
-            }
-        )
+    rows = sweep_map(_patch_row, [{"n": n, "radius": radius} for radius in (2, 3, 5)])
     print_rows(f"E14 — patch decomposition guarantees (n={n}, random connected graphs)", rows)
     for row in rows:
         assert row["min_patch_size"] >= row["size_guarantee D/2"] - 1

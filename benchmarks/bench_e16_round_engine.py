@@ -1,0 +1,88 @@
+"""E16: the mask-native round engine keeps runner-bound workloads cheap.
+
+Regression guard for the round-engine refactor (bitmask topologies with
+identity-cached validation, lazy state views, incremental ``knowledge_mask``
+completion tracking, neighbour-mask delivery).  The workload is chosen to be
+*runner-bound*: 2000 rounds of token forwarding at n = k = 128 over shifted
+rings, where the sparse topology keeps per-round protocol work small and the
+per-round graph build / validation / snapshot / completion-check overhead
+dominates.
+
+Both engines run the identical round semantics in the same process:
+``engine="mask"`` (the fast path) versus ``engine="legacy"`` (the original
+networkx/frozenset data flow).  The recorded absolute numbers are in
+``BENCH_ROUND_ENGINE.json``: 9.45 s at the pre-PR commit 2b4d621, 3.10 s on
+the in-tree legacy engine (which shares this PR's TokenId/message caching),
+1.36 s on the mask engine — 6.9x end-to-end, 2.3x engine-isolated against
+the 2x acceptance threshold.  The *gating* assertions here are (a) the two
+engines produce byte-identical metrics for identical seeds, and (b) a
+lenient 1.4x engine-isolated floor so shared CI runners cannot flake the
+build on timing noise while a disabled fast path (ratio ~1x) still fails.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.algorithms import TokenForwardingNode
+from repro.network import ShiftedRingAdversary
+from repro.simulation import run_dissemination, standard_instance
+
+from common import make_config
+
+BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_ROUND_ENGINE.json"
+
+N = 128
+ROUNDS = 2000
+
+
+def _one_run(engine: str):
+    config = make_config(N, d=8, b=48)
+    placement = standard_instance(N, N, 8, seed=0)
+    return run_dissemination(
+        TokenForwardingNode,
+        config,
+        placement,
+        ShiftedRingAdversary(),
+        seed=0,
+        engine=engine,
+        max_rounds=ROUNDS,
+    )
+
+
+def _best_of(engine: str, repeats: int = 2) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _one_run(engine)
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_e16_engines_identical_metrics():
+    mask = _one_run("mask")
+    legacy = _one_run("legacy")
+    assert dataclasses.asdict(mask.metrics) == dataclasses.asdict(legacy.metrics)
+    assert mask.correct == legacy.correct
+    for mask_node, legacy_node in zip(mask.nodes, legacy.nodes):
+        assert mask_node.known_token_ids() == legacy_node.known_token_ids()
+
+
+def test_e16_round_engine_speedup(benchmark):
+    baseline = json.loads(BASELINE_FILE.read_text())
+    _one_run("mask")  # warm imports/caches before timing
+    fast = _best_of("mask")
+    legacy = _best_of("legacy")
+
+    speedup = legacy / fast
+    print(
+        f"\nE16 — mask engine {fast:.3f}s vs legacy engine {legacy:.3f}s "
+        f"on this machine: {speedup:.1f}x (recorded: {baseline['speedup_vs_legacy_engine']:.1f}x "
+        f"engine-isolated, {baseline['speedup_vs_pre_pr']:.1f}x vs pre-PR commit, "
+        f"acceptance threshold {baseline['acceptance_threshold']:.0f}x)"
+    )
+    assert speedup >= 1.4
+    benchmark.pedantic(lambda: _one_run("mask"), rounds=1, iterations=1)

@@ -17,14 +17,20 @@ dozen.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro import __version__
 from repro.algorithms.base import ProtocolConfig, ProtocolFactory
 from repro.network import Adversary
 from repro.simulation import (
+    SweepCache,
     SweepPoint,
     SweepTask,
     measure,
@@ -39,9 +45,56 @@ __all__ = [
     "run_once",
     "measure_rounds",
     "measure_sweep",
+    "sweep_map",
     "print_rows",
+    "sweep_cache_dir",
     "sweep_workers",
 ]
+
+
+#: Default location of the cross-run sweep memo (persisted by CI via
+#: ``actions/cache``; safe to delete at any time).
+_DEFAULT_CACHE_DIR = Path(__file__).resolve().parent.parent / ".benchmarks" / "sweep-cache"
+
+
+def sweep_cache_dir() -> Path | None:
+    """Directory holding the benchmark suite's sweep memo files.
+
+    ``REPRO_SWEEP_CACHE`` overrides the location; set it to ``0``/``off`` to
+    disable caching entirely (e.g. when timing cold runs).  Caching never
+    changes measurements — entries are keyed by a digest of everything that
+    determines the result, salted with ``repro.__version__``.
+    """
+    raw = os.environ.get("REPRO_SWEEP_CACHE")
+    if raw is None:
+        return _DEFAULT_CACHE_DIR
+    if raw.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return Path(raw)
+
+
+_SOURCE_DIGEST: str | None = None
+
+
+def _source_digest() -> str:
+    """Content hash of every tracked python source under src/ and benchmarks/.
+
+    Cache entries key factories and point functions by *pickle reference*
+    (module + qualname), which does not change when a function body changes —
+    so the memo files themselves are salted with the source tree content and
+    any code edit starts a fresh memo.  This is the local twin of the CI
+    ``actions/cache`` key's ``hashFiles('src/**', 'benchmarks/**')``.
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        digest = hashlib.sha256()
+        root = Path(__file__).resolve().parent.parent
+        for base in (root / "src", root / "benchmarks"):
+            for path in sorted(base.rglob("*.py")):
+                digest.update(str(path.relative_to(root)).encode())
+                digest.update(path.read_bytes())
+        _SOURCE_DIGEST = digest.hexdigest()[:12]
+    return _SOURCE_DIGEST
 
 
 def sweep_workers(default: int = 4) -> int:
@@ -110,36 +163,130 @@ def measure_rounds(
 
 
 def measure_sweep(
-    factory: ProtocolFactory,
+    factory: ProtocolFactory | None,
     points: Sequence[Mapping[str, object]],
     config_for: Callable[[Mapping[str, object]], ProtocolConfig],
-    adversary_factory: Callable[[], Adversary],
+    adversary_factory: Callable[[], Adversary] | None = None,
     repetitions: int = 2,
     seed: int = 0,
     max_workers: int | None = None,
+    *,
+    factory_for: Callable[[Mapping[str, object]], ProtocolFactory] | None = None,
+    adversary_for: Callable[[Mapping[str, object]], Callable[[], Adversary]] | None = None,
+    instance_k: int | Callable[[Mapping[str, object]], int | None] | None = None,
+    base_seed: int | None = None,
+    max_rounds: int | Callable[[Mapping[str, object]], int | None] | None = None,
 ) -> list[SweepPoint]:
     """Measure every parameter point, fanned out over worker processes.
 
     ``config_for`` maps one parameter point (e.g. ``{"n": 64}``) to its
-    :class:`ProtocolConfig`.  Each point is a self-seeded
+    :class:`ProtocolConfig`; ``factory_for`` / ``adversary_for`` do the same
+    for benches whose protocol factory or adversary depends on the point
+    (everything shipped to workers must be picklable — classes, module-level
+    functions, ``functools.partial`` of those).  Each point is a self-seeded
     :class:`~repro.simulation.SweepTask`, so the sweep gives identical
     measurements serial or parallel; workers default to
-    :func:`sweep_workers`.
+    :func:`sweep_workers`, and results are memoised across runs in
+    :func:`sweep_cache_dir`.
     """
+    if (factory is None) == (factory_for is None):
+        raise ValueError("pass exactly one of factory / factory_for")
+    if (adversary_factory is None) == (adversary_for is None):
+        raise ValueError("pass exactly one of adversary_factory / adversary_for")
+
+    def _per_point(option, point):
+        return option(point) if callable(option) else option
+
     tasks = [
         SweepTask(
-            factory=factory,
+            factory=factory if factory is not None else factory_for(point),
             config=config_for(point),
-            adversary_factory=adversary_factory,
+            adversary_factory=(
+                adversary_factory if adversary_factory is not None else adversary_for(point)
+            ),
             parameters=dict(point),
+            instance_k=_per_point(instance_k, point),
             instance_seed=seed,
             repetitions=repetitions,
-            base_seed=seed + 1,
+            base_seed=seed + 1 if base_seed is None else base_seed,
+            max_rounds=_per_point(max_rounds, point),
         )
         for point in points
     ]
     workers = sweep_workers() if max_workers is None else max_workers
-    return sweep_tasks(tasks, max_workers=workers)
+    cache_dir = sweep_cache_dir()
+    cache = (
+        SweepCache(cache_dir / f"measurements-{_source_digest()}.json")
+        if cache_dir is not None
+        else None
+    )
+    return sweep_tasks(tasks, max_workers=workers, cache=cache)
+
+
+def _call_with_point(payload: tuple[Callable, Mapping[str, object]]):
+    """Top-level apply helper so ``ProcessPoolExecutor.map`` can pickle it."""
+    fn, point = payload
+    return fn(**point)
+
+
+def sweep_map(
+    fn: Callable[..., object],
+    points: Sequence[Mapping[str, object]],
+    *,
+    max_workers: int | None = None,
+) -> list:
+    """Evaluate ``fn(**point)`` at every point, in parallel and memoised.
+
+    The :func:`measure_sweep` twin for benches whose per-point result is not
+    a completion-rounds :class:`~repro.simulation.Measurement` (custom run
+    drivers, analysis formulas, decomposition statistics).  ``fn`` must be a
+    module-level function (pickled by reference into the workers) returning
+    JSON-serialisable data, and must be deterministic in its keyword
+    arguments — that is what makes the cross-run memo in
+    :func:`sweep_cache_dir` safe.  Results come back in point order.
+    """
+    fn_digest = SweepTask._identity_digest(fn)
+    keys = [
+        hashlib.sha256(
+            "|".join(
+                [__version__, fn_digest, json.dumps(point, sort_keys=True, default=repr)]
+            ).encode()
+        ).hexdigest()
+        for point in points
+    ]
+
+    cache_dir = sweep_cache_dir()
+    entries: dict[str, object] = {}
+    cache_path = None
+    if cache_dir is not None:
+        cache_path = cache_dir / f"points-{_source_digest()}.json"
+        if cache_path.exists():
+            try:
+                entries = json.loads(cache_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                entries = {}
+
+    results: list = [entries.get(key) for key in keys]
+    pending = [index for index, result in enumerate(results) if result is None]
+
+    if pending:
+        workers = sweep_workers() if max_workers is None else max_workers
+        payloads = [(fn, dict(points[index])) for index in pending]
+        if workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                computed = list(executor.map(_call_with_point, payloads))
+        else:
+            computed = [_call_with_point(payload) for payload in payloads]
+        for index, value in zip(pending, computed):
+            results[index] = value
+            entries[keys[index]] = value
+        if cache_path is not None:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = cache_path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(entries, indent=1, sort_keys=True))
+            tmp.replace(cache_path)
+
+    return results
 
 
 def print_rows(title: str, rows: list[dict]) -> None:

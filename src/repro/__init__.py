@@ -86,7 +86,7 @@ from .tokens import (
     place_tokens,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Adversary",

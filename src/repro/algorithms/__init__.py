@@ -18,7 +18,12 @@ from .token_forwarding import (
     TokenForwardingNode,
     tokens_per_message,
 )
-from .tstable import PatchShareCoordinator, TStablePatchNode, make_tstable_factory
+from .tstable import (
+    PatchShareCoordinator,
+    TStablePatchFactory,
+    TStablePatchNode,
+    make_tstable_factory,
+)
 
 __all__ = [
     "BlockDescriptor",
@@ -38,6 +43,7 @@ __all__ = [
     "ProtocolFactory",
     "ProtocolNode",
     "RandomForwardNode",
+    "TStablePatchFactory",
     "TStablePatchNode",
     "TokenForwardingNode",
     "block_bits",

@@ -117,7 +117,15 @@ class ProtocolConfig:
 
 
 class ProtocolNode(abc.ABC):
-    """Per-node protocol state machine."""
+    """Per-node protocol state machine.
+
+    Knowledge is tracked twice: the authoritative ``known`` dict (id ->
+    Token) and, when the runner enables it, an incremental integer
+    ``knowledge_mask`` — one bit per token index of the run's placement —
+    maintained by :meth:`_learn_token`.  The mask is what makes the
+    runner's per-round completion / progress / useless-delivery accounting
+    O(1) per node instead of O(k) frozenset rebuilding.
+    """
 
     def __init__(self, uid: int, config: ProtocolConfig, rng: np.random.Generator):
         self.uid = uid
@@ -125,6 +133,11 @@ class ProtocolNode(abc.ABC):
         self.rng = rng
         #: Tokens (id -> Token) this node can currently output.
         self.known: dict[TokenId, Token] = {}
+        #: Token-id -> bit index mapping installed by the runner's mask engine.
+        self._token_index: Mapping[TokenId, int] | None = None
+        self._knowledge_mask: int = 0
+        #: ``len(self.known)`` the last time the mask was known to be in sync.
+        self._mask_synced: int = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -166,12 +179,59 @@ class ProtocolNode(abc.ABC):
         return False
 
     def state_view(self) -> NodeStateView:
-        """The sanitised view handed to adaptive adversaries."""
+        """The sanitised (lazy) view handed to adaptive adversaries.
+
+        The frozenset of known ids is only materialised if the adversary
+        reads ``known_token_ids``; the count and membership accessors the
+        in-repo adversaries use are O(1) suppliers.  Subclasses that
+        override :meth:`known_token_ids` fall back to supplier-only views
+        so the advertised set stays authoritative.
+        """
+        default_ids = type(self).known_token_ids is ProtocolNode.known_token_ids
         return NodeStateView(
             uid=self.uid,
-            known_token_ids=self.known_token_ids(),
             rank=self.coded_rank(),
+            known_supplier=self.known_token_ids,
+            known_count=len(self.known) if default_ids else None,
+            membership=self.known.__contains__ if default_ids else None,
         )
+
+    # ------------------------------------------------------------------
+    # incremental knowledge-mask tracking (the runner's fast-path contract)
+    # ------------------------------------------------------------------
+    def enable_mask_tracking(self, token_index: Mapping[TokenId, int]) -> bool:
+        """Install the run's token-id -> bit-index mapping.
+
+        Called once by the runner after :meth:`setup`.  Returns False (and
+        leaves tracking off) for subclasses that override
+        :meth:`known_token_ids`, since the ``known`` dict is then not
+        guaranteed to be the authoritative knowledge record.
+        """
+        if type(self).known_token_ids is not ProtocolNode.known_token_ids:
+            return False
+        self._token_index = token_index
+        self._knowledge_mask = 0
+        self._mask_synced = 0
+        return True
+
+    def knowledge_mask(self) -> int:
+        """The node's knowledge as a bitmask over the run's token indices.
+
+        O(1) when in sync (the common case — :meth:`_learn_token` maintains
+        the mask incrementally); resynchronises from ``known`` only after an
+        out-of-band mutation.  Requires :meth:`enable_mask_tracking`.
+        """
+        assert self._token_index is not None, "mask tracking not enabled"
+        if self._mask_synced != len(self.known):
+            index = self._token_index
+            mask = 0
+            for token_id in self.known:
+                bit = index.get(token_id)
+                if bit is not None:
+                    mask |= 1 << bit
+            self._knowledge_mask = mask
+            self._mask_synced = len(self.known)
+        return self._knowledge_mask
 
     # ------------------------------------------------------------------
     # small shared helpers
@@ -180,6 +240,11 @@ class ProtocolNode(abc.ABC):
         """Record a token; return True if it was new to this node."""
         if token.token_id in self.known:
             return False
+        if self._token_index is not None and self._mask_synced == len(self.known):
+            bit = self._token_index.get(token.token_id)
+            if bit is not None:
+                self._knowledge_mask |= 1 << bit
+            self._mask_synced += 1
         self.known[token.token_id] = token
         return True
 

@@ -23,6 +23,7 @@ the node currently knows (plus the round number and the shared parameters).
 
 from __future__ import annotations
 
+import bisect
 from typing import Sequence
 
 import numpy as np
@@ -36,6 +37,15 @@ __all__ = [
     "PipelinedTokenForwardingNode",
     "tokens_per_message",
 ]
+
+
+def _token_sort_key(token: Token) -> TokenId:
+    return token.token_id
+
+
+#: Sentinel distinguishing "no cached compose yet" from a cached ``None``
+#: (a node with nothing pending legitimately broadcasts nothing).
+_STALE = object()
 
 
 def tokens_per_message(config: ProtocolConfig) -> int:
@@ -52,6 +62,13 @@ def tokens_per_message(config: ProtocolConfig) -> int:
 class TokenForwardingNode(ProtocolNode):
     """Phase-based flooding token forwarding (the KLO baseline).
 
+    The pending (known, not yet delivered) tokens are kept in an
+    incrementally-maintained sorted list — one ``bisect.insort`` per newly
+    learned token — instead of being re-sorted from the ``known`` dict on
+    every ``compose``, which was the protocol's dominant per-round cost.
+    Delivered tokens are compacted out at each phase boundary (they are
+    never broadcast again), keeping the per-round prefix scan short.
+
     Tuning knobs (``config.extra``):
 
     * ``phase_length`` — rounds per flooding phase (default ``n``).
@@ -62,30 +79,61 @@ class TokenForwardingNode(ProtocolNode):
         self.delivered: set[TokenId] = set()
         self.phase_length = config.extra_int("phase_length", config.n)
         self.batch = tokens_per_message(config)
+        #: Known tokens sorted by id, possibly still containing a few
+        #: delivered stragglers between phase-boundary compactions.
+        self._sorted_known: list[Token] = []
+        #: Memoised compose() result; invalidated whenever pending changes.
+        self._compose_cache: Message | None | object = _STALE
+
+    def setup(self, initial_tokens: Sequence[Token]) -> None:
+        super().setup(initial_tokens)
+        self._sorted_known = sorted(self.known.values(), key=_token_sort_key)
+        self._compose_cache = _STALE
 
     # ------------------------------------------------------------------
-    def _undelivered_sorted(self) -> list[Token]:
-        pending = [t for tid, t in self.known.items() if tid not in self.delivered]
-        pending.sort(key=lambda t: t.token_id)
-        return pending
+    def _undelivered_prefix(self, limit: int) -> list[Token]:
+        """The up-to-``limit`` smallest known-but-undelivered tokens."""
+        out: list[Token] = []
+        delivered = self.delivered
+        for token in self._sorted_known:
+            if token.token_id not in delivered:
+                out.append(token)
+                if len(out) == limit:
+                    break
+        return out
 
     def compose(self, round_index: int) -> Message | None:
-        pending = self._undelivered_sorted()
-        if not pending:
-            return None
-        return TokenForwardMessage(sender=self.uid, tokens=tuple(pending[: self.batch]))
+        # The broadcast depends only on the pending set, which changes far
+        # less often than once per round; reuse the (immutable) message until
+        # a learn or a phase commit invalidates it.
+        if self._compose_cache is not _STALE:
+            return self._compose_cache  # type: ignore[return-value]
+        pending = self._undelivered_prefix(self.batch)
+        message = (
+            TokenForwardMessage(sender=self.uid, tokens=tuple(pending))
+            if pending
+            else None
+        )
+        self._compose_cache = message
+        return message
 
     def deliver(self, round_index: int, messages: Sequence[Message]) -> None:
         for message in messages:
             if isinstance(message, TokenForwardMessage):
                 for token in message.tokens:
-                    self._learn_token(token)
+                    if self._learn_token(token):
+                        bisect.insort(self._sorted_known, token, key=_token_sort_key)
+                        self._compose_cache = _STALE
         # At a phase boundary, commit the smallest pending tokens as delivered.
         # All nodes see the same global minimum set after a full flooding
         # phase, so the delivered sets stay consistent across nodes.
         if (round_index + 1) % self.phase_length == 0:
-            for token in self._undelivered_sorted()[: self.batch]:
+            for token in self._undelivered_prefix(self.batch):
                 self.delivered.add(token.token_id)
+            self._sorted_known = [
+                t for t in self._sorted_known if t.token_id not in self.delivered
+            ]
+            self._compose_cache = _STALE
 
 
 class PipelinedTokenForwardingNode(ProtocolNode):

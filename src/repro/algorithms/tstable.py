@@ -52,7 +52,12 @@ from ..tokens.token import Token
 from .base import ProtocolConfig, ProtocolNode, log2_ceil
 from .blocks import block_bits, decode_block, encode_block
 
-__all__ = ["PatchShareCoordinator", "TStablePatchNode", "make_tstable_factory"]
+__all__ = [
+    "PatchShareCoordinator",
+    "TStablePatchNode",
+    "TStablePatchFactory",
+    "make_tstable_factory",
+]
 
 
 class PatchShareCoordinator:
@@ -232,13 +237,41 @@ class TStablePatchNode(ProtocolNode):
         return self._decoded
 
 
-def make_tstable_factory(config: ProtocolConfig, seed: int = 0):
-    """Build a factory whose nodes share one :class:`PatchShareCoordinator`."""
-    coordinator = PatchShareCoordinator(config, seed=seed)
+class TStablePatchFactory:
+    """Picklable protocol factory whose nodes share one :class:`PatchShareCoordinator`.
 
-    def factory(uid: int, cfg: ProtocolConfig, rng: np.random.Generator) -> TStablePatchNode:
+    A fresh coordinator is created each time node 0 is built — the runner
+    always constructs nodes in uid order, so each ``run_dissemination`` call
+    gets its own coordinator (no state leaks across the repetitions of a
+    :class:`~repro.simulation.SweepTask`), while all nodes of one run share
+    it.  Being a plain picklable object (unlike the closure this replaces),
+    it can ride a sweep task into worker processes.
+    """
+
+    def __init__(self, config: ProtocolConfig, seed: int = 0):
+        self.config = config
+        self.seed = seed
+        self._coordinator: PatchShareCoordinator | None = None
+
+    def __call__(
+        self, uid: int, cfg: ProtocolConfig, rng: np.random.Generator
+    ) -> TStablePatchNode:
+        if uid == 0 or self._coordinator is None:
+            self._coordinator = PatchShareCoordinator(self.config, seed=self.seed)
         node = TStablePatchNode(uid, cfg, rng)
-        node.shared_coordinator = coordinator
+        node.shared_coordinator = self._coordinator
         return node
 
-    return factory
+    def __getstate__(self) -> dict:
+        # The coordinator is per-run scratch state; never ship it to workers.
+        return {"config": self.config, "seed": self.seed}
+
+    def __setstate__(self, state: dict) -> None:
+        self.config = state["config"]
+        self.seed = state["seed"]
+        self._coordinator = None
+
+
+def make_tstable_factory(config: ProtocolConfig, seed: int = 0) -> TStablePatchFactory:
+    """Build a factory whose nodes share one :class:`PatchShareCoordinator`."""
+    return TStablePatchFactory(config, seed=seed)

@@ -19,18 +19,38 @@ The adversary API reflects this distinction:
 Concrete adversaries include the oblivious random/periodic families, the
 worst-case adaptive "bottleneck" adversaries used in the KLO lower-bound
 constructions, and wrappers adding T-stability.
+
+Performance: the in-repo adversaries emit mask-native
+:class:`~repro.network.topology.Topology` objects (per-node neighbour
+bitmasks) — the bottleneck/split cliques are two mask fills instead of
+O(n^2) edge insertions — and read the cheap ``known_count`` / ``knows``
+accessors of the (lazy) state views.  Custom adversaries may keep returning
+``networkx.Graph``; the runner coerces through
+:func:`~repro.network.topology.as_topology`.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field as dataclass_field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import networkx as nx
 import numpy as np
 
 from . import graphs
+from .topology import (
+    Topology,
+    as_topology,
+    clique_pair_topology,
+    complete_topology,
+    path_topology,
+    random_connected_topology,
+    random_tree_topology,
+    ring_topology,
+    shifted_ring_topology,
+    split_topology,
+    star_topology,
+)
 
 __all__ = [
     "NodeStateView",
@@ -50,16 +70,30 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
 class NodeStateView:
-    """Read-only snapshot of a node's knowledge, exposed to adaptive adversaries.
+    """Read-only view of a node's knowledge, exposed to adaptive adversaries.
+
+    The view is *lazy*: the runner constructs it from O(1) suppliers, and the
+    ``known_token_ids`` frozenset — the expensive part of the old eager
+    snapshot — is only materialised if an adversary actually reads it.  The
+    in-repo adversaries use :attr:`known_count` (number of decodable tokens)
+    and :meth:`knows` (membership test), both O(1); custom adversaries can
+    keep reading ``known_token_ids`` unchanged.
+
+    Contract: a view is valid for the round it was issued (nodes do not
+    learn between snapshot and ``choose_topology``, so all accessors agree
+    there).  It is *not* a durable snapshot — a lazy view retained across
+    rounds reads through to the node's then-current knowledge on first
+    access.  An adversary that wants cross-round deltas must copy
+    ``known_token_ids`` during ``choose_topology``.
 
     Attributes
     ----------
     uid:
         The node's unique identifier (its index in ``0..n-1``).
     known_token_ids:
-        Identifiers of tokens the node can currently decode.
+        Identifiers of tokens the node can currently decode (built on first
+        access when the view is lazy).
     rank:
         Dimension of the node's received coded subspace (0 for non-coding
         protocols).
@@ -68,10 +102,55 @@ class NodeStateView:
         scheduling; adversaries must not rely on specific keys existing.
     """
 
-    uid: int
-    known_token_ids: frozenset = frozenset()
-    rank: int = 0
-    extra: Mapping[str, int] = dataclass_field(default_factory=dict)
+    __slots__ = ("uid", "rank", "extra", "_known", "_supplier", "_count", "_membership")
+
+    def __init__(
+        self,
+        uid: int,
+        known_token_ids: Iterable | None = None,
+        rank: int = 0,
+        extra: Mapping[str, int] | None = None,
+        *,
+        known_supplier: Callable[[], Iterable] | None = None,
+        known_count: int | None = None,
+        membership: Callable[[object], bool] | None = None,
+    ):
+        self.uid = uid
+        self.rank = rank
+        self.extra: Mapping[str, int] = extra if extra is not None else {}
+        self._known: frozenset | None = (
+            frozenset(known_token_ids) if known_token_ids is not None else None
+        )
+        self._supplier = known_supplier
+        self._count = known_count
+        self._membership = membership
+        if self._known is None and self._supplier is None:
+            self._known = frozenset()
+
+    @property
+    def known_token_ids(self) -> frozenset:
+        if self._known is None:
+            assert self._supplier is not None
+            self._known = frozenset(self._supplier())
+        return self._known
+
+    @property
+    def known_count(self) -> int:
+        """Number of decodable tokens, without materialising the frozenset."""
+        if self._count is not None:
+            return self._count
+        return len(self.known_token_ids)
+
+    def knows(self, token_id: object) -> bool:
+        """O(1) membership test for a single token identifier."""
+        if self._known is not None:
+            return token_id in self._known
+        if self._membership is not None:
+            return bool(self._membership(token_id))
+        return token_id in self.known_token_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeStateView(uid={self.uid}, known={self.known_count}, rank={self.rank})"
 
 
 class Adversary(abc.ABC):
@@ -88,7 +167,7 @@ class Adversary(abc.ABC):
         n: int,
         states: Sequence[NodeStateView],
         messages: Sequence[object] | None = None,
-    ) -> nx.Graph:
+    ) -> Topology | nx.Graph:
         """Return the connected round-``round_index`` communication graph.
 
         ``messages`` is only provided to adversaries with ``sees_messages``.
@@ -101,15 +180,22 @@ class Adversary(abc.ABC):
 class StaticAdversary(Adversary):
     """Keeps a single fixed topology for the whole execution."""
 
-    def __init__(self, graph_factory: Callable[[int], nx.Graph] | nx.Graph):
+    def __init__(
+        self,
+        graph_factory: Callable[[int], Topology | nx.Graph] | Topology | nx.Graph,
+    ):
         self._factory = graph_factory
-        self._cached: nx.Graph | None = None
+        self._cached: Topology | None = None
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
         if self._cached is None:
-            graph = self._factory if isinstance(self._factory, nx.Graph) else self._factory(n)
-            graphs.validate_topology(graph, n)
-            self._cached = graph
+            if isinstance(self._factory, (Topology, nx.Graph)):
+                graph = self._factory
+            else:
+                graph = self._factory(n)
+            topology = as_topology(graph, n)
+            topology.validate(n)
+            self._cached = topology
         return self._cached
 
     def reset(self) -> None:
@@ -118,12 +204,17 @@ class StaticAdversary(Adversary):
 
 
 class ObliviousSequenceAdversary(Adversary):
-    """Plays a pre-determined (round-indexed) sequence of topologies."""
+    """Plays a pre-determined (round-indexed) sequence of topologies.
 
-    def __init__(self, topology_fn: Callable[[int, int], nx.Graph]):
+    The user-supplied ``topology_fn`` may return either a
+    :class:`~repro.network.topology.Topology` or a ``networkx.Graph``; the
+    result is passed through unconverted (the runner adapts it).
+    """
+
+    def __init__(self, topology_fn: Callable[[int, int], Topology | nx.Graph]):
         self._topology_fn = topology_fn
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+    def choose_topology(self, round_index, n, states, messages=None):
         graph = self._topology_fn(n, round_index)
         graphs.validate_topology(graph, n)
         return graph
@@ -137,8 +228,8 @@ class RandomConnectedAdversary(Adversary):
         self._extra_edge_prob = extra_edge_prob
         self._rng = np.random.default_rng(seed)
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
-        return graphs.random_connected_graph(n, self._rng, self._extra_edge_prob)
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
+        return random_connected_topology(n, self._rng, self._extra_edge_prob)
 
     def reset(self) -> None:
         self._rng = np.random.default_rng(self._seed)
@@ -151,8 +242,8 @@ class RandomTreeAdversary(Adversary):
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
-        return graphs.random_tree(n, self._rng)
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
+        return random_tree_topology(n, self._rng)
 
     def reset(self) -> None:
         self._rng = np.random.default_rng(self._seed)
@@ -161,15 +252,15 @@ class RandomTreeAdversary(Adversary):
 class RotatingStarAdversary(Adversary):
     """Star topology whose center moves every round."""
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
-        return graphs.rotating_star(n, round_index)
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
+        return star_topology(n, center=round_index % n)
 
 
 class ShiftedRingAdversary(Adversary):
     """Ring topology whose labelling is permuted every round."""
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
-        return graphs.shifted_ring(n, round_index)
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
+        return shifted_ring_topology(n, round_index)
 
 
 class PathShuffleAdversary(Adversary):
@@ -183,12 +274,21 @@ class PathShuffleAdversary(Adversary):
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
         order = list(self._rng.permutation(n))
-        return graphs.path_graph(n, order)
+        return path_topology(n, order)
 
     def reset(self) -> None:
         self._rng = np.random.default_rng(self._seed)
+
+
+def _rich_poor_split(states: Sequence[NodeStateView], n: int) -> tuple[list[int], list[int]]:
+    """Sort nodes by (known tokens, rank) and split into poor/rich halves."""
+    ordered = sorted(states, key=lambda s: (s.known_count, s.rank))
+    half = n // 2
+    poor = [s.uid for s in ordered[:half]]
+    rich = [s.uid for s in ordered[half:]]
+    return poor, rich
 
 
 class BottleneckAdversary(Adversary):
@@ -208,27 +308,17 @@ class BottleneckAdversary(Adversary):
             raise ValueError("bridge_pairs must be at least 1")
         self._bridge_pairs = bridge_pairs
 
-    def _score(self, state: NodeStateView) -> tuple[int, int]:
-        return (len(state.known_token_ids), state.rank)
-
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
         if n <= 2:
-            return graphs.complete_graph(n)
-        ordered = sorted(states, key=self._score)
-        # Poor half = least-informed nodes; rich half = most-informed nodes.
-        half = n // 2
-        poor = [s.uid for s in ordered[:half]]
-        rich = [s.uid for s in ordered[half:]]
-        graph = nx.Graph()
-        graph.add_nodes_from(range(n))
-        graph.add_edges_from((u, v) for i, u in enumerate(poor) for v in poor[i + 1 :])
-        graph.add_edges_from((u, v) for i, u in enumerate(rich) for v in rich[i + 1 :])
+            return complete_topology(n)
+        poor, rich = _rich_poor_split(states, n)
         # Bridge: least-informed rich node to most-informed poor node — the
         # crossing that transfers the least new knowledge.
-        for b in range(self._bridge_pairs):
-            graph.add_edge(rich[b % len(rich)], poor[-1 - (b % len(poor))])
-        graphs.validate_topology(graph, n)
-        return graph
+        bridges = [
+            (rich[b % len(rich)], poor[-1 - (b % len(poor))])
+            for b in range(self._bridge_pairs)
+        ]
+        return clique_pair_topology(n, poor, rich, bridges)
 
 
 class TokenIsolationAdversary(Adversary):
@@ -245,11 +335,11 @@ class TokenIsolationAdversary(Adversary):
     def __init__(self, target_token_id: object):
         self._target = target_token_id
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
-        informed = {s.uid for s in states if self._target in s.known_token_ids}
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
+        informed = {s.uid for s in states if s.knows(self._target)}
         if not informed or len(informed) == n:
-            return graphs.complete_graph(n)
-        return graphs.split_graph(n, informed, bridge_pairs=1)
+            return complete_topology(n)
+        return split_topology(n, informed, bridge_pairs=1)
 
 
 class OmniscientBottleneckAdversary(Adversary):
@@ -274,17 +364,10 @@ class OmniscientBottleneckAdversary(Adversary):
         self._usefulness_fn = usefulness_fn
         self._fallback = BottleneckAdversary()
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
         if messages is None or self._usefulness_fn is None or n <= 2:
             return self._fallback.choose_topology(round_index, n, states, messages)
-        ordered = sorted(states, key=lambda s: (len(s.known_token_ids), s.rank))
-        half = n // 2
-        poor = [s.uid for s in ordered[:half]]
-        rich = [s.uid for s in ordered[half:]]
-        graph = nx.Graph()
-        graph.add_nodes_from(range(n))
-        graph.add_edges_from((u, v) for i, u in enumerate(poor) for v in poor[i + 1 :])
-        graph.add_edges_from((u, v) for i, u in enumerate(rich) for v in rich[i + 1 :])
+        poor, rich = _rich_poor_split(states, n)
         # Search for a bridge whose rich->poor message is NOT useful.
         best_edge = None
         for sender in rich:
@@ -297,16 +380,17 @@ class OmniscientBottleneckAdversary(Adversary):
                 break
         if best_edge is None:
             best_edge = (rich[0], poor[-1])
-        graph.add_edge(*best_edge)
-        graphs.validate_topology(graph, n)
-        return graph
+        return clique_pair_topology(n, poor, rich, [best_edge])
 
 
 class TStableAdversary(Adversary):
     """Wrap any adversary so the topology only changes every ``T`` rounds.
 
     This is the paper's T-stability requirement (Section 8): the entire
-    network is static within each block of ``T`` consecutive rounds.
+    network is static within each block of ``T`` consecutive rounds.  The
+    cached block topology is returned as the *same object* every round of
+    the block, so the runner's identity-keyed validation cache checks it
+    once per block instead of once per round.
     """
 
     def __init__(self, inner: Adversary, stability: int):
@@ -314,14 +398,14 @@ class TStableAdversary(Adversary):
             raise ValueError(f"stability T must be >= 1, got {stability}")
         self.inner = inner
         self.stability = stability
-        self._current: nx.Graph | None = None
+        self._current: Topology | nx.Graph | None = None
         self._current_block = -1
 
     @property
     def sees_messages(self) -> bool:  # type: ignore[override]
         return self.inner.sees_messages
 
-    def choose_topology(self, round_index, n, states, messages=None) -> nx.Graph:
+    def choose_topology(self, round_index, n, states, messages=None):
         block = round_index // self.stability
         if block != self._current_block or self._current is None:
             self._current = self.inner.choose_topology(round_index, n, states, messages)
@@ -335,10 +419,10 @@ class TStableAdversary(Adversary):
 
 
 _ADVERSARY_FACTORIES: dict[str, Callable[..., Adversary]] = {
-    "static_path": lambda **kw: StaticAdversary(graphs.path_graph),
-    "static_ring": lambda **kw: StaticAdversary(graphs.ring_graph),
-    "static_star": lambda **kw: StaticAdversary(graphs.star_graph),
-    "static_complete": lambda **kw: StaticAdversary(graphs.complete_graph),
+    "static_path": lambda **kw: StaticAdversary(path_topology),
+    "static_ring": lambda **kw: StaticAdversary(ring_topology),
+    "static_star": lambda **kw: StaticAdversary(star_topology),
+    "static_complete": lambda **kw: StaticAdversary(complete_topology),
     "random_connected": lambda seed=0, **kw: RandomConnectedAdversary(seed=seed),
     "random_tree": lambda seed=0, **kw: RandomTreeAdversary(seed=seed),
     "rotating_star": lambda **kw: RotatingStarAdversary(),

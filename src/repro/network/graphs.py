@@ -11,6 +11,10 @@ connected topologies used by our adversaries and benchmarks:
   random regular-ish expanders) used as "typical" dynamic rounds.
 
 All generators return ``networkx.Graph`` objects on nodes ``0..n-1``.
+Mask-native twins of the hot-path generators (returning the runner's
+bitmask :class:`~repro.network.topology.Topology` representation, with
+identical edge sets and RNG draw sequences) live in
+:mod:`repro.network.topology`; the in-repo adversaries use those.
 """
 
 from __future__ import annotations
@@ -37,12 +41,20 @@ __all__ = [
 ]
 
 
-def validate_topology(graph: nx.Graph, n: int) -> None:
+def validate_topology(graph, n: int) -> None:
     """Check that a graph is a legal round topology for an ``n``-node network.
 
-    Raises ``ValueError`` on violation: wrong node set, self-loops, or a
-    disconnected graph (the model requires connectivity in every round).
+    Accepts both ``networkx.Graph`` objects and mask-native
+    :class:`~repro.network.topology.Topology` objects (which validate with
+    word-parallel mask operations).  Raises ``ValueError`` on violation:
+    wrong node set, self-loops, or a disconnected graph (the model requires
+    connectivity in every round).
     """
+    from .topology import Topology
+
+    if isinstance(graph, Topology):
+        graph.validate(n)
+        return
     if set(graph.nodes) != set(range(n)):
         raise ValueError(
             f"topology must have node set 0..{n - 1}, got {sorted(graph.nodes)[:10]}..."

@@ -19,9 +19,16 @@ runs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 import networkx as nx
+
+from .topology import Topology
+
+#: The checkers accept any mix of ``networkx`` graphs and mask-native
+#: :class:`~repro.network.topology.Topology` objects (the representation the
+#: runner records on its fast path) — they only read ``.edges`` / ``.nodes``.
+GraphLike = Union[nx.Graph, Topology]
 
 __all__ = [
     "is_t_stable",
@@ -32,11 +39,11 @@ __all__ = [
 ]
 
 
-def _edge_set(graph: nx.Graph) -> frozenset:
+def _edge_set(graph: GraphLike) -> frozenset:
     return frozenset(frozenset(edge) for edge in graph.edges)
 
 
-def is_t_stable(topologies: Sequence[nx.Graph], stability: int) -> bool:
+def is_t_stable(topologies: Sequence[GraphLike], stability: int) -> bool:
     """True iff the sequence is T-stable for ``T = stability``.
 
     The blocks are aligned at round 0, matching how the simulator applies
@@ -54,7 +61,7 @@ def is_t_stable(topologies: Sequence[nx.Graph], stability: int) -> bool:
     return True
 
 
-def stable_intersection(topologies: Sequence[nx.Graph]) -> nx.Graph:
+def stable_intersection(topologies: Sequence[GraphLike]) -> nx.Graph:
     """The graph of edges present in *every* topology of the sequence."""
     if not topologies:
         raise ValueError("need at least one topology")
@@ -68,7 +75,7 @@ def stable_intersection(topologies: Sequence[nx.Graph]) -> nx.Graph:
     return out
 
 
-def is_t_interval_connected(topologies: Sequence[nx.Graph], interval: int) -> bool:
+def is_t_interval_connected(topologies: Sequence[GraphLike], interval: int) -> bool:
     """True iff every window of ``interval`` rounds has a common connected spanning subgraph."""
     if interval < 1:
         raise ValueError(f"interval must be >= 1, got {interval}")
@@ -83,7 +90,7 @@ def is_t_interval_connected(topologies: Sequence[nx.Graph], interval: int) -> bo
     return True
 
 
-def max_stability(topologies: Sequence[nx.Graph]) -> int:
+def max_stability(topologies: Sequence[GraphLike]) -> int:
     """Largest ``T`` such that the sequence is T-stable (aligned blocks)."""
     if not topologies:
         return 0
@@ -94,7 +101,7 @@ def max_stability(topologies: Sequence[nx.Graph]) -> int:
     return best
 
 
-def max_interval_connectivity(topologies: Sequence[nx.Graph]) -> int:
+def max_interval_connectivity(topologies: Sequence[GraphLike]) -> int:
     """Largest ``T`` such that the sequence is T-interval connected."""
     if not topologies:
         return 0

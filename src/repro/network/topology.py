@@ -1,0 +1,384 @@
+"""Mask-native round topologies: per-node neighbour bitmasks.
+
+The round engine spends most of its non-protocol time on topology work:
+building a fresh ``networkx.Graph`` every round, re-checking connectivity,
+and iterating adjacency dicts during delivery.  Just as the GF(2) coding
+layer became fast by representing coded vectors as single Python ints (see
+:mod:`repro.coding.subspace`), the topology layer becomes fast by
+representing a round graph as ``n`` integer bitmasks: bit ``v`` of
+``masks[u]`` is set iff ``{u, v}`` is an edge.  On that representation
+
+* the two cliques of a bottleneck/split topology are two mask fills
+  (O(n) big-int ops) instead of O(n^2) ``add_edges_from`` calls,
+* connectivity is a mask BFS whose inner step is one word-parallel OR over
+  the frontier (O(E/64) machine words total), and
+* delivery iterates the set bits of one int instead of an adjacency dict.
+
+:class:`Topology` is immutable and hashable (structural hash over the mask
+rows), which is what lets the runner validate each *distinct* topology once
+instead of once per round.  It also duck-types the small slice of the
+``networkx.Graph`` API the rest of the code base reads (``nodes``,
+``edges``, ``neighbors``, ``has_edge``, ``number_of_nodes/edges``), so
+adversaries can emit it natively while stability checkers and tests keep
+working unchanged; ``to_nx``/``from_nx`` convert (and cache) the full
+``networkx`` projection for consumers that need real graph algorithms
+(e.g. the Section 8.1 patch decomposition).
+
+The mask-native builders below are edge-identical twins of the
+``networkx`` generators in :mod:`repro.network.graphs` — including their
+RNG draw sequences — so switching an adversary to the mask path never
+changes which topology it plays (verified by tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "Topology",
+    "as_topology",
+    "path_topology",
+    "ring_topology",
+    "star_topology",
+    "complete_topology",
+    "split_topology",
+    "clique_pair_topology",
+    "random_tree_topology",
+    "random_connected_topology",
+    "shifted_ring_topology",
+]
+
+
+def _full_mask(n: int) -> int:
+    return (1 << n) - 1
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        lsb = mask & -mask
+        yield lsb.bit_length() - 1
+        mask ^= lsb
+
+
+class Topology:
+    """An immutable round topology stored as per-node neighbour bitmasks.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes; the node set is always ``0..n-1``.
+    masks:
+        Tuple of ``n`` ints; bit ``v`` of ``masks[u]`` is set iff ``{u, v}``
+        is an edge.  Rows must be symmetric and self-loop free (checked by
+        :meth:`validate`, which the runner calls once per distinct object).
+    """
+
+    __slots__ = ("n", "masks", "_nx", "_hash")
+
+    def __init__(self, n: int, masks: Sequence[int]):
+        self.n = n
+        # Coerce rows to Python ints: numpy integers (e.g. node labels drawn
+        # from a Generator, reaching here via from_nx/from_edges shifts) would
+        # silently wrap at 64 bits and lack arbitrary-precision bit ops.
+        self.masks = tuple(int(mask) for mask in masks)
+        if len(self.masks) != n:
+            raise ValueError(f"need {n} mask rows, got {len(self.masks)}")
+        self._nx: nx.Graph | None = None
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # construction / interop
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Topology":
+        """Build a topology on ``0..n-1`` from an edge list."""
+        masks = [0] * n
+        for u, v in edges:
+            u, v = int(u), int(v)  # numpy ints would wrap the shift at 64 bits
+            masks[u] |= 1 << v
+            masks[v] |= 1 << u
+        return cls(n, masks)
+
+    @classmethod
+    def from_nx(cls, graph: nx.Graph) -> "Topology":
+        """Convert a ``networkx`` graph on node set ``0..n-1``.
+
+        Self-loops are preserved (as a diagonal bit) so that validation can
+        reject them exactly like the ``networkx`` validator did.
+        """
+        n = graph.number_of_nodes()
+        if set(graph.nodes) != set(range(n)):
+            raise ValueError(
+                f"topology must have node set 0..{n - 1}, got {sorted(graph.nodes)[:10]}..."
+            )
+        masks = [0] * n
+        for u, v in graph.edges:
+            u, v = int(u), int(v)  # node labels may be numpy ints
+            masks[u] |= 1 << v
+            masks[v] |= 1 << u
+        return cls(n, masks)
+
+    def to_nx(self) -> nx.Graph:
+        """The ``networkx`` projection (built once and cached; do not mutate)."""
+        if self._nx is None:
+            graph = nx.Graph()
+            graph.add_nodes_from(range(self.n))
+            graph.add_edges_from(self.edges)
+            self._nx = graph
+        return self._nx
+
+    # ------------------------------------------------------------------
+    # the networkx-compatible read surface
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> range:
+        return range(self.n)
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges as ``(u, v)`` tuples with ``u < v`` (plus any self-loops)."""
+        out = []
+        for u, mask in enumerate(self.masks):
+            for v in _iter_bits(mask >> u):
+                out.append((u, u + v))
+        return out
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """The neighbours of ``u`` in ascending order."""
+        return _iter_bits(self.masks[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool((self.masks[u] >> v) & 1)
+
+    def degree_of(self, u: int) -> int:
+        return self.masks[u].bit_count()
+
+    def number_of_nodes(self) -> int:
+        return self.n
+
+    def number_of_edges(self) -> int:
+        total = sum(mask.bit_count() for mask in self.masks)
+        loops = sum((mask >> u) & 1 for u, mask in enumerate(self.masks))
+        return (total - loops) // 2 + loops
+
+    # ------------------------------------------------------------------
+    # structural identity
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return self.n == other.n and self.masks == other.masks
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.n, self.masks))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology(n={self.n}, edges={self.number_of_edges()})"
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Mask BFS: expand the frontier by OR-ing neighbour rows.
+
+        Each node joins the frontier at most once, so the total work is one
+        word-parallel OR per node — O(E/64) machine words.
+        """
+        n = self.n
+        if n <= 1:
+            return True
+        masks = self.masks
+        reached = 1
+        frontier = 1
+        while frontier:
+            grown = 0
+            for u in _iter_bits(frontier):
+                grown |= masks[u]
+            frontier = grown & ~reached
+            reached |= frontier
+        return reached == _full_mask(n)
+
+    def validate(self, n: int | None = None) -> None:
+        """Check the legality of this object as a round topology.
+
+        Raises ``ValueError`` on a wrong node count, self-loops, asymmetric
+        rows (only reachable by hand-built masks), out-of-range neighbour
+        bits, or disconnectedness — mirroring
+        :func:`repro.network.graphs.validate_topology`.
+        """
+        if n is not None and n != self.n:
+            raise ValueError(f"topology must have node set 0..{n - 1}, got 0..{self.n - 1}")
+        full = _full_mask(self.n)
+        for u, mask in enumerate(self.masks):
+            if mask & ~full:
+                raise ValueError(f"mask row {u} has neighbour bits outside 0..{self.n - 1}")
+            if (mask >> u) & 1:
+                raise ValueError(f"self-loop on node {u} is not allowed")
+        for u, mask in enumerate(self.masks):
+            for v in _iter_bits(mask >> u):
+                if not (self.masks[u + v] >> u) & 1:
+                    raise ValueError(f"asymmetric edge ({u}, {u + v})")
+        if not self.is_connected():
+            raise ValueError("round topology must be connected")
+
+
+def as_topology(graph: "Topology | nx.Graph", n: int | None = None) -> Topology:
+    """Coerce a round graph to :class:`Topology` (the adversary adapter).
+
+    ``Topology`` inputs pass through unchanged (preserving their identity,
+    which the runner's validation cache keys on); ``networkx`` graphs are
+    converted.  ``n``, when given, is checked against the node count.
+    """
+    if isinstance(graph, Topology):
+        topology = graph
+    elif isinstance(graph, nx.Graph):
+        topology = Topology.from_nx(graph)
+    else:
+        raise TypeError(
+            f"adversary returned {type(graph).__name__}; expected Topology or networkx.Graph"
+        )
+    if n is not None and topology.n != n:
+        raise ValueError(f"topology must have node set 0..{n - 1}, got 0..{topology.n - 1}")
+    return topology
+
+
+# ----------------------------------------------------------------------
+# mask-native builders (edge-identical twins of repro.network.graphs)
+# ----------------------------------------------------------------------
+
+
+def path_topology(n: int, order: Sequence[int] | None = None) -> Topology:
+    """A path over the nodes, optionally in a caller-provided order."""
+    nodes = [int(v) for v in order] if order is not None else list(range(n))
+    if sorted(nodes) != list(range(n)):
+        raise ValueError("order must be a permutation of 0..n-1")
+    masks = [0] * n
+    for u, v in zip(nodes, nodes[1:]):
+        masks[u] |= 1 << v
+        masks[v] |= 1 << u
+    return Topology(n, masks)
+
+
+def ring_topology(n: int) -> Topology:
+    """A cycle over the nodes (falls back to a path for n < 3)."""
+    if n < 3:
+        return path_topology(n)
+    masks = [0] * n
+    for u in range(n):
+        v = (u + 1) % n
+        masks[u] |= 1 << v
+        masks[v] |= 1 << u
+    return Topology(n, masks)
+
+
+def star_topology(n: int, center: int = 0) -> Topology:
+    """A star with the given center node: two mask fills."""
+    if not 0 <= center < n:
+        raise ValueError(f"center {center} out of range for n={n}")
+    center_bit = 1 << center
+    others = _full_mask(n) ^ center_bit
+    masks = [center_bit] * n
+    masks[center] = others
+    return Topology(n, masks)
+
+
+def complete_topology(n: int) -> Topology:
+    """The complete graph K_n."""
+    full = _full_mask(n)
+    return Topology(n, [full ^ (1 << u) for u in range(n)])
+
+
+def clique_pair_topology(
+    n: int,
+    group_a: Sequence[int],
+    group_b: Sequence[int],
+    bridges: Iterable[tuple[int, int]],
+) -> Topology:
+    """Two cliques joined by explicit bridge edges — the adaptive-cut shape.
+
+    Each clique is two passes of O(|group|) big-int operations: one to build
+    the group mask, one to write every member's row.
+    """
+    masks = [0] * n
+    for group in (group_a, group_b):
+        group_mask = 0
+        for u in group:
+            group_mask |= 1 << u
+        for u in group:
+            masks[u] |= group_mask ^ (1 << u)
+    for u, v in bridges:
+        masks[u] |= 1 << v
+        masks[v] |= 1 << u
+    return Topology(n, masks)
+
+
+def split_topology(n: int, informed: Iterable[int], bridge_pairs: int = 1) -> Topology:
+    """Mask-native twin of :func:`repro.network.graphs.split_graph`."""
+    informed_list = sorted({v for v in informed if 0 <= v < n})
+    informed_set = set(informed_list)
+    uninformed = [v for v in range(n) if v not in informed_set]
+    bridges = []
+    if informed_list and uninformed:
+        for i in range(max(1, bridge_pairs)):
+            bridges.append(
+                (informed_list[i % len(informed_list)], uninformed[i % len(uninformed)])
+            )
+    return clique_pair_topology(n, informed_list, uninformed, bridges)
+
+
+def random_tree_topology(n: int, rng: np.random.Generator) -> Topology:
+    """A random tree drawing the same RNG sequence as ``graphs.random_tree``."""
+    masks = [0] * n
+    if n <= 1:
+        return Topology(n, masks)
+    order = list(rng.permutation(n))
+    for i in range(1, n):
+        parent = int(order[int(rng.integers(0, i))])
+        child = int(order[i])
+        masks[child] |= 1 << parent
+        masks[parent] |= 1 << child
+    return Topology(n, masks)
+
+
+def random_connected_topology(
+    n: int, rng: np.random.Generator, extra_edge_prob: float = 0.1
+) -> Topology:
+    """Random spanning tree plus iid extra edges (twin of ``graphs.random_connected_graph``)."""
+    if not 0 <= extra_edge_prob <= 1:
+        raise ValueError(f"extra_edge_prob must be in [0,1], got {extra_edge_prob}")
+    tree = random_tree_topology(n, rng)
+    if n < 3 or extra_edge_prob == 0:
+        return tree
+    masks = list(tree.masks)
+    expected = extra_edge_prob * n * (n - 1) / 2
+    count = int(rng.poisson(expected))
+    for _ in range(count):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            masks[u] |= 1 << v
+            masks[v] |= 1 << u
+    return Topology(n, masks)
+
+
+def shifted_ring_topology(n: int, round_index: int) -> Topology:
+    """Mask-native twin of ``graphs.shifted_ring``."""
+    if n < 3:
+        return path_topology(n)
+    shift = round_index % n
+    stride = 1 + (round_index % max(1, n - 2))
+    while np.gcd(stride, n) != 1:
+        stride += 1
+    masks = [0] * n
+    for i in range(n):
+        u = (shift + i * stride) % n
+        v = (shift + (i + 1) * stride) % n
+        masks[u] |= 1 << v
+        masks[v] |= 1 << u
+    return Topology(n, masks)

@@ -15,6 +15,25 @@ randomness in advance" operationally (Section 6).
 The runner also enforces the message budget, tracks metrics, detects
 completion (every node can output every token), and verifies payload
 correctness at the end.
+
+Two execution engines implement the identical round semantics:
+
+* **mask** (default whenever every node supports it) — topologies are
+  mask-native :class:`~repro.network.topology.Topology` objects validated
+  once per distinct object (identity-cached, so static and T-stable
+  adversaries are checked once per topology instead of once per round);
+  node state snapshots are lazy views; per-node knowledge is an
+  incrementally-maintained integer ``knowledge_mask`` so the completion
+  check, progress tracking and useless-delivery fingerprints are O(1)-O(n)
+  mask operations; and delivery iterates neighbour bitmasks directly.
+* **legacy** — the original ``networkx``/frozenset data flow (fresh graph
+  validation every round, eager frozenset snapshots, O(n*k) set-inclusion
+  completion check).  Kept for custom protocols whose ``known_token_ids``
+  overrides opt them out of mask tracking, and as the measured baseline of
+  ``benchmarks/bench_e16_round_engine.py``.
+
+Both engines deliver each node's inbox in ascending neighbour-uid order and
+produce identical metrics for identical seeds (verified by tests).
 """
 
 from __future__ import annotations
@@ -28,6 +47,7 @@ import numpy as np
 from ..algorithms.base import ProtocolConfig, ProtocolFactory, ProtocolNode
 from ..network.adversary import Adversary
 from ..network.graphs import validate_topology
+from ..network.topology import Topology, as_topology
 from ..tokens.message import Message
 from ..tokens.token import TokenPlacement
 from .metrics import RunMetrics
@@ -49,13 +69,16 @@ class RunResult:
         True iff at completion every node output every token with the right
         payload.  ``None`` when the run did not complete within its limit.
     topologies:
-        The recorded topology sequence (only if ``record_topologies``).
+        The recorded topology sequence (only if ``record_topologies``):
+        :class:`~repro.network.topology.Topology` objects on the mask
+        engine, ``networkx`` graphs on the legacy engine.  Both satisfy the
+        stability checkers in :mod:`repro.network.stability`.
     """
 
     metrics: RunMetrics
     nodes: list[ProtocolNode]
     correct: bool | None
-    topologies: list[nx.Graph] = field(default_factory=list)
+    topologies: list = field(default_factory=list)
 
     @property
     def rounds(self) -> int:
@@ -76,17 +99,24 @@ def build_nodes(
     placement: TokenPlacement,
     rng: np.random.Generator,
 ) -> list[ProtocolNode]:
-    """Instantiate and set up one protocol node per network participant."""
+    """Instantiate and set up one protocol node per network participant.
+
+    Node randomness comes from ``rng.spawn``-ed child generators —
+    statistically independent streams derived through NumPy's SeedSequence
+    spawning, replacing the earlier ``default_rng(rng.integers(0, 2**63 - 1))``
+    re-seeding (which drew from a documented-exclusive upper bound and keyed
+    children off a single 63-bit draw).  Seed-compat: runs seeded under the
+    old scheme reproduce different (still deterministic) executions.
+    """
     nodes: list[ProtocolNode] = []
-    for uid in range(config.n):
-        node_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+    for uid, node_rng in enumerate(rng.spawn(config.n)):
         node = factory(uid, config, node_rng)
         node.setup(placement.tokens_at(uid))
         nodes.append(node)
     return nodes
 
 
-def _knowledge_fingerprint(node: ProtocolNode) -> tuple[int, int]:
+def _legacy_fingerprint(node: ProtocolNode) -> tuple[int, int]:
     return (len(node.known_token_ids()), node.coded_rank())
 
 
@@ -112,6 +142,7 @@ def run_dissemination(
     stop_at_completion: bool = True,
     record_topologies: bool = False,
     track_progress: bool = False,
+    engine: str = "auto",
 ) -> RunResult:
     """Run one complete dissemination execution and return its result.
 
@@ -138,39 +169,104 @@ def run_dissemination(
         Keep the per-round graphs (for stability checks in tests).
     track_progress:
         Record per-round (min, mean) known-token counts in the metrics.
+    engine:
+        ``"auto"`` (mask fast path when every node supports it, else
+        legacy), ``"mask"`` (require the fast path; raises if a node opts
+        out), or ``"legacy"`` (force the original nx/frozenset data flow).
     """
+    if engine not in ("auto", "mask", "legacy"):
+        raise ValueError(f"engine must be 'auto', 'mask' or 'legacy', got {engine!r}")
     adversary.reset()
     rng = np.random.default_rng(seed)
     nodes = build_nodes(factory, config, placement, rng)
     all_token_ids = placement.all_ids()
     metrics = RunMetrics()
-    topologies: list[nx.Graph] = []
+    topologies: list = []
 
     if max_rounds is None:
         max_rounds = 20 * config.n * max(1, config.k) + 200
 
+    # Mask engine setup: a stable token-id -> bit-index mapping shared by all
+    # nodes.  Nodes whose class overrides known_token_ids() decline tracking,
+    # which drops the whole run to the legacy engine under "auto".
+    token_index = {tid: i for i, tid in enumerate(sorted(all_token_ids))}
+    mask_ready = all(node.enable_mask_tracking(token_index) for node in nodes)
+    if engine == "mask" and not mask_ready:
+        raise ValueError(
+            "engine='mask' requires every node to support knowledge-mask "
+            "tracking (a node class overriding known_token_ids() opted out)"
+        )
+    use_mask = mask_ready and engine != "legacy"
+    full_mask = (1 << len(token_index)) - 1
+    incomplete = set(range(config.n)) if use_mask else set()
+    if use_mask:
+        incomplete = {uid for uid in incomplete if nodes[uid].knowledge_mask() != full_mask}
+
+    # Single-slot validation cache: static and T-stable adversaries return
+    # the same topology object round after round, so remembering only the
+    # most recent one already gives the once-per-topology (not once-per-
+    # round) validation win without pinning every per-round topology of a
+    # long run.  Only immutable Topology objects are cached by identity —
+    # an adversary may legally mutate and re-return one nx.Graph between
+    # rounds, so nx inputs are re-converted and re-validated every time,
+    # exactly as the legacy engine treats them.
+    last_validated: tuple[Topology, Topology] | None = None
+
+    def _validated_topology(graph) -> Topology:
+        nonlocal last_validated
+        if last_validated is not None and last_validated[0] is graph:
+            return last_validated[1]
+        topology = as_topology(graph, config.n)
+        topology.validate(config.n)
+        if isinstance(graph, Topology):
+            last_validated = (graph, topology)
+        return topology
+
+    def _round_views(graph) -> tuple[Topology | None, nx.Graph | None]:
+        """Validate the round graph once, in the active engine's representation."""
+        if use_mask:
+            return _validated_topology(graph), None
+        # Legacy engine: full networkx validation every round.
+        nx_view = graph.to_nx() if isinstance(graph, Topology) else graph
+        validate_topology(nx_view, config.n)
+        return None, nx_view
+
     # Optional shared coordinator hook (see algorithms/tstable.py): a single
     # object shared by all nodes that may observe the round topology.  This is
     # the documented structured-simulation shortcut for the patch-sharing
-    # algorithm; ordinary protocols have no coordinator.
+    # algorithm; ordinary protocols have no coordinator.  It consumes the
+    # ``networkx`` projection (cached per Topology object, so T-stable blocks
+    # materialise it once; on the legacy engine it is the adversary's own
+    # graph, the same object ``after_round`` sees).
     coordinator = getattr(nodes[0], "shared_coordinator", None) if nodes else None
 
     for round_index in range(max_rounds):
         states = [node.state_view() for node in nodes]
+        if not use_mask:
+            # Legacy data flow: eager frozenset snapshots, as the seed
+            # implementation materialised them.
+            for state in states:
+                state.known_token_ids
 
         if adversary.sees_messages:
             outgoing = [node.compose(round_index) for node in nodes]
             graph = adversary.choose_topology(round_index, config.n, states, outgoing)
+            topology, nx_view = _round_views(graph)
+            if coordinator is not None:
+                coordinator.on_topology(
+                    round_index, topology.to_nx() if use_mask else nx_view, nodes
+                )
         else:
             graph = adversary.choose_topology(round_index, config.n, states)
+            topology, nx_view = _round_views(graph)
             if coordinator is not None:
-                coordinator.on_topology(round_index, graph, nodes)
+                coordinator.on_topology(
+                    round_index, topology.to_nx() if use_mask else nx_view, nodes
+                )
             outgoing = [node.compose(round_index) for node in nodes]
-        validate_topology(graph, config.n)
-        if adversary.sees_messages and coordinator is not None:
-            coordinator.on_topology(round_index, graph, nodes)
+
         if record_topologies:
-            topologies.append(graph)
+            topologies.append(topology if use_mask else nx_view)
 
         # Budget enforcement and broadcast accounting.
         for message in outgoing:
@@ -184,33 +280,66 @@ def run_dissemination(
             config.budget.check(message)
             metrics.record_broadcast(message.size_bits)
 
-        # Delivery: each node receives its neighbours' messages.
-        fingerprints = [_knowledge_fingerprint(node) for node in nodes]
-        for uid, node in enumerate(nodes):
-            inbox = [
-                outgoing[neighbour]
-                for neighbour in graph.neighbors(uid)
-                if outgoing[neighbour] is not None
-            ]
-            node.deliver(round_index, inbox)
-            metrics.deliveries += len(inbox)
-            if inbox and _knowledge_fingerprint(node) == fingerprints[uid]:
-                metrics.useless_deliveries += len(inbox)
+        # Delivery: each node receives its neighbours' messages, in ascending
+        # neighbour-uid order on both engines.
+        if use_mask:
+            for uid, node in enumerate(nodes):
+                inbox = [
+                    message
+                    for message in map(outgoing.__getitem__, topology.neighbors(uid))
+                    if message is not None
+                ]
+                if inbox:
+                    before = (len(node.known), node.coded_rank())
+                    node.deliver(round_index, inbox)
+                    metrics.deliveries += len(inbox)
+                    if (len(node.known), node.coded_rank()) == before:
+                        metrics.useless_deliveries += len(inbox)
+                else:
+                    node.deliver(round_index, inbox)
+        else:
+            fingerprints = [_legacy_fingerprint(node) for node in nodes]
+            for uid, node in enumerate(nodes):
+                inbox = [
+                    outgoing[neighbour]
+                    for neighbour in sorted(nx_view.neighbors(uid))
+                    if outgoing[neighbour] is not None
+                ]
+                node.deliver(round_index, inbox)
+                metrics.deliveries += len(inbox)
+                if inbox and _legacy_fingerprint(node) == fingerprints[uid]:
+                    metrics.useless_deliveries += len(inbox)
 
         if coordinator is not None:
-            coordinator.after_round(round_index, graph, nodes)
+            coordinator.after_round(
+                round_index,
+                topology.to_nx() if use_mask else nx_view,
+                nodes,
+            )
 
         metrics.rounds_executed = round_index + 1
 
         if track_progress:
-            counts = [len(node.known_token_ids()) for node in nodes]
+            counts = (
+                [len(node.known) for node in nodes]
+                if use_mask
+                else [len(node.known_token_ids()) for node in nodes]
+            )
             metrics.progress.append(
                 (round_index + 1, min(counts), float(np.mean(counts)))
             )
 
         if metrics.completion_round is None:
-            if all(all_token_ids <= node.known_token_ids() for node in nodes):
-                metrics.completion_round = round_index + 1
+            if use_mask:
+                # Incremental completion: only nodes still missing tokens are
+                # re-examined, each with one O(k/64) mask comparison.
+                for uid in [u for u in incomplete if nodes[u].knowledge_mask() == full_mask]:
+                    incomplete.discard(uid)
+                if not incomplete:
+                    metrics.completion_round = round_index + 1
+            else:
+                if all(all_token_ids <= node.known_token_ids() for node in nodes):
+                    metrics.completion_round = round_index + 1
 
         if metrics.completion_round is not None:
             if stop_at_completion or all(node.finished() for node in nodes):

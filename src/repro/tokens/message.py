@@ -113,10 +113,13 @@ class TokenForwardMessage(Message):
 
     @property
     def size_bits(self) -> int:
-        total = 0
-        for token in self.tokens:
-            total += token.token_id.bits + token.size_bits
-        return total
+        # Computed once per message: the runner reads the size at least twice
+        # per broadcast (budget check + accounting) every round.
+        cached = self.__dict__.get("_size_bits")
+        if cached is None:
+            cached = sum(t.token_id.bits + t.size_bits for t in self.tokens)
+            object.__setattr__(self, "_size_bits", cached)
+        return cached
 
 
 class CodedMessage(Message):
@@ -310,8 +313,12 @@ class CodedMessage(Message):
 
     @property
     def size_bits(self) -> int:
-        generation_bits = max(1, int(self.generation).bit_length())
-        return self.header_bits + self.payload_bits + generation_bits
+        cached = self.__dict__.get("_size_bits")
+        if cached is None:
+            generation_bits = max(1, int(self.generation).bit_length())
+            cached = self.header_bits + self.payload_bits + generation_bits
+            object.__setattr__(self, "_size_bits", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # value semantics (a packed message equals its tuple-form twin)
@@ -376,8 +383,10 @@ class ControlMessage(Message):
 
     @property
     def size_bits(self) -> int:
-        total = 0
-        for name, value in self.fields.items():
-            total += 4  # field tag
-            total += self._value_bits(value)
-        return total
+        cached = self.__dict__.get("_size_bits")
+        if cached is None:
+            cached = sum(
+                4 + self._value_bits(value) for value in self.fields.values()
+            )  # 4 bits per field tag
+            object.__setattr__(self, "_size_bits", cached)
+        return cached

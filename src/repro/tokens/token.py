@@ -28,23 +28,57 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True)
 class TokenId:
     """Globally-unique token identifier: origin node UID + sequence number.
 
     Orders lexicographically, which gives all nodes a consistent way to sort
     identifiers (used for index assignment after gathering).
+
+    Identifiers sit on the round loop's hot path — every sort, dict lookup
+    and message-size check touches them — so the ordering key, hash and bit
+    size are computed once per instance instead of per operation.
     """
 
     origin: int
     sequence: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", (self.origin, self.sequence))
+        object.__setattr__(self, "_hash", hash((self.origin, self.sequence)))
+        object.__setattr__(
+            self,
+            "_bits",
+            max(1, int(self.origin).bit_length()) + max(1, int(self.sequence).bit_length()),
+        )
+
     @property
     def bits(self) -> int:
         """Size of the identifier in bits, O(log n) as assumed by the paper."""
-        return max(1, int(self.origin).bit_length()) + max(
-            1, int(self.sequence).bit_length()
-        )
+        return self._bits  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, TokenId):
+            return NotImplemented
+        return self._key < other._key  # type: ignore[attr-defined]
+
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, TokenId):
+            return NotImplemented
+        return self._key <= other._key  # type: ignore[attr-defined]
+
+    def __gt__(self, other: object) -> bool:
+        if not isinstance(other, TokenId):
+            return NotImplemented
+        return self._key > other._key  # type: ignore[attr-defined]
+
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, TokenId):
+            return NotImplemented
+        return self._key >= other._key  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TokenId({self.origin},{self.sequence})"

@@ -1,0 +1,288 @@
+"""Equivalence and contract tests for the runner's two execution engines.
+
+The mask engine (bitmask topologies, identity-cached validation, lazy state
+views, incremental ``knowledge_mask`` tracking) and the legacy
+networkx/frozenset engine implement the identical round semantics; these
+tests pin that equivalence across protocol/adversary pairs, the auto engine
+selection rules, the once-per-topology validation cache, and the
+``rng.spawn`` node-seeding scheme.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    GreedyForwardNode,
+    IndexedBroadcastNode,
+    TokenForwardingNode,
+    make_tstable_factory,
+)
+from repro.network import (
+    BottleneckAdversary,
+    PathShuffleAdversary,
+    RandomConnectedAdversary,
+    StaticAdversary,
+    TStableAdversary,
+    Topology,
+    ring_topology,
+)
+from repro.network.stability import is_t_stable, max_stability
+from repro.simulation import run_dissemination, standard_instance
+from repro.simulation.runner import build_nodes
+from tests.conftest import make_config
+
+
+def _run(factory, config, adversary, *, engine, seed=3, **kwargs):
+    placement = standard_instance(config.n, config.k, config.token_bits, seed=seed)
+    return run_dissemination(
+        factory, config, placement, adversary, seed=seed, engine=engine, **kwargs
+    )
+
+
+PAIRS = [
+    pytest.param(
+        TokenForwardingNode, lambda: BottleneckAdversary(), 12, id="forwarding-bottleneck"
+    ),
+    pytest.param(
+        IndexedBroadcastNode,
+        lambda: RandomConnectedAdversary(seed=7),
+        10,
+        id="rlnc-random-connected",
+    ),
+    pytest.param(
+        GreedyForwardNode, lambda: PathShuffleAdversary(seed=5), 10, id="greedy-path-shuffle"
+    ),
+]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("factory,adversary_factory,n", PAIRS)
+    def test_identical_metrics_and_knowledge(self, factory, adversary_factory, n):
+        config = make_config(n)
+        results = {
+            engine: _run(
+                factory,
+                config,
+                adversary_factory(),
+                engine=engine,
+                track_progress=True,
+            )
+            for engine in ("mask", "legacy")
+        }
+        mask, legacy = results["mask"], results["legacy"]
+        assert mask.completed and mask.correct
+        assert dataclasses.asdict(mask.metrics) == dataclasses.asdict(legacy.metrics)
+        assert mask.correct == legacy.correct
+        for mask_node, legacy_node in zip(mask.nodes, legacy.nodes):
+            assert mask_node.known_token_ids() == legacy_node.known_token_ids()
+
+    def test_tstable_patch_protocol_equivalence(self):
+        # The coordinator-backed patch protocol exercises the nx projection
+        # (to_nx) on the mask path every stability block.
+        n, stability = 12, 4
+        config = make_config(n, stability=stability)
+        results = {}
+        for engine in ("mask", "legacy"):
+            factory = make_tstable_factory(config, seed=2)
+            adversary = TStableAdversary(PathShuffleAdversary(seed=9), stability)
+            results[engine] = _run(factory, config, adversary, engine=engine)
+        mask, legacy = results["mask"], results["legacy"]
+        assert mask.completed and mask.correct
+        assert dataclasses.asdict(mask.metrics) == dataclasses.asdict(legacy.metrics)
+
+    def test_recorded_topologies_match_across_engines(self):
+        config = make_config(10)
+        mask = _run(
+            TokenForwardingNode,
+            config,
+            TStableAdversary(PathShuffleAdversary(seed=4), 3),
+            engine="mask",
+            record_topologies=True,
+        )
+        legacy = _run(
+            TokenForwardingNode,
+            config,
+            TStableAdversary(PathShuffleAdversary(seed=4), 3),
+            engine="legacy",
+            record_topologies=True,
+        )
+        assert len(mask.topologies) == len(legacy.topologies)
+        for mask_topology, nx_graph in zip(mask.topologies, legacy.topologies):
+            assert isinstance(mask_topology, Topology)
+            assert isinstance(nx_graph, nx.Graph)
+            assert {frozenset(e) for e in mask_topology.edges} == {
+                frozenset(e) for e in nx_graph.edges
+            }
+        # The stability checkers consume both representations identically.
+        assert is_t_stable(mask.topologies, 3) == is_t_stable(legacy.topologies, 3)
+        assert max_stability(mask.topologies) == max_stability(legacy.topologies)
+
+
+class MutatingGraphAdversary(BottleneckAdversary):
+    """Rewires and re-returns ONE ``nx.Graph`` object every round — a legal
+    pre-PR adversary pattern the runner must not serve stale conversions
+    for."""
+
+    def __init__(self):
+        super().__init__()
+        self._graph = nx.Graph()
+
+    def choose_topology(self, round_index, n, states, messages=None):
+        fresh = super().choose_topology(round_index, n, states, messages)
+        self._graph.clear()
+        self._graph.add_nodes_from(range(n))
+        self._graph.add_edges_from(fresh.edges)
+        return self._graph
+
+
+class TestEngineEquivalence2:
+    def test_mutated_reused_nx_graph_not_served_stale(self):
+        # Regression: the validation cache must key only on immutable
+        # Topology objects; an nx.Graph mutated in place between rounds has
+        # the same id but different edges.
+        config = make_config(10)
+        mask = _run(TokenForwardingNode, config, MutatingGraphAdversary(), engine="mask")
+        legacy = _run(TokenForwardingNode, config, MutatingGraphAdversary(), engine="legacy")
+        assert mask.completed and mask.correct
+        assert dataclasses.asdict(mask.metrics) == dataclasses.asdict(legacy.metrics)
+
+
+class OpaqueKnowledgeNode(TokenForwardingNode):
+    """Same behaviour, but overrides ``known_token_ids`` — the documented
+    opt-out from mask tracking (the ``known`` dict may not be authoritative
+    for such protocols)."""
+
+    def known_token_ids(self) -> frozenset:
+        return frozenset(self.known)
+
+
+class TestEngineSelection:
+    def test_auto_prefers_mask_engine(self):
+        config = make_config(8)
+        result = _run(
+            TokenForwardingNode,
+            config,
+            BottleneckAdversary(),
+            engine="auto",
+            record_topologies=True,
+        )
+        assert result.completed
+        assert all(isinstance(t, Topology) for t in result.topologies)
+
+    def test_auto_falls_back_to_legacy_for_opaque_protocols(self):
+        config = make_config(8)
+        result = _run(
+            OpaqueKnowledgeNode,
+            config,
+            BottleneckAdversary(),
+            engine="auto",
+            record_topologies=True,
+        )
+        assert result.completed and result.correct
+        assert all(isinstance(t, nx.Graph) for t in result.topologies)
+
+    def test_mask_engine_rejects_opaque_protocols(self):
+        config = make_config(8)
+        with pytest.raises(ValueError, match="knowledge-mask"):
+            _run(OpaqueKnowledgeNode, config, BottleneckAdversary(), engine="mask")
+
+    def test_unknown_engine_rejected(self):
+        config = make_config(8)
+        with pytest.raises(ValueError, match="engine"):
+            _run(TokenForwardingNode, config, BottleneckAdversary(), engine="turbo")
+
+    def test_opaque_protocol_matches_plain_forwarding(self):
+        # The override returns the same id set, so the legacy fallback must
+        # reproduce the mask-engine run of the unmodified protocol.
+        config = make_config(8)
+        plain = _run(TokenForwardingNode, config, BottleneckAdversary(), engine="mask")
+        opaque = _run(OpaqueKnowledgeNode, config, BottleneckAdversary(), engine="auto")
+        assert dataclasses.asdict(plain.metrics) == dataclasses.asdict(opaque.metrics)
+
+
+class TestValidationCache:
+    def test_static_topology_validated_once(self, monkeypatch):
+        calls = {"n": 0}
+        original = Topology.validate
+
+        def counting_validate(self, n=None):
+            calls["n"] += 1
+            return original(self, n)
+
+        monkeypatch.setattr(Topology, "validate", counting_validate)
+        config = make_config(8)
+        result = _run(
+            TokenForwardingNode,
+            config,
+            StaticAdversary(ring_topology(8)),
+            engine="mask",
+        )
+        assert result.metrics.rounds_executed > 5
+        # Once inside StaticAdversary's own constructor-time check, once in
+        # the runner's identity-keyed cache — never once per round.
+        assert calls["n"] <= 2
+
+    def test_tstable_blocks_validated_once_per_block(self, monkeypatch):
+        calls = {"n": 0}
+        original = Topology.validate
+
+        def counting_validate(self, n=None):
+            calls["n"] += 1
+            return original(self, n)
+
+        monkeypatch.setattr(Topology, "validate", counting_validate)
+        stability = 5
+        config = make_config(8, stability=stability)
+        result = _run(
+            TokenForwardingNode,
+            config,
+            TStableAdversary(PathShuffleAdversary(seed=1), stability),
+            engine="mask",
+        )
+        rounds = result.metrics.rounds_executed
+        assert rounds > stability
+        blocks = -(-rounds // stability)
+        assert calls["n"] <= blocks + 1
+
+
+class TestNodeSeeding:
+    """``build_nodes`` derives node randomness via ``rng.spawn``.
+
+    Seed-compat note: before the round-engine PR, children were re-seeded
+    with ``default_rng(rng.integers(0, 2**63 - 1))`` — a single 63-bit draw
+    with a documented-exclusive upper bound.  The spawn scheme produces
+    statistically independent SeedSequence streams instead; executions for a
+    given master seed are still fully deterministic, but differ from runs
+    recorded under the old scheme.
+    """
+
+    def test_spawn_streams_deterministic(self, rng):
+        config = make_config(6)
+        placement = standard_instance(6, 6, 8, seed=0)
+        draws = []
+        for _ in range(2):
+            nodes = build_nodes(
+                IndexedBroadcastNode, config, placement, np.random.default_rng(42)
+            )
+            draws.append([node.rng.integers(0, 2**32) for node in nodes])
+        assert draws[0] == draws[1]
+
+    def test_spawn_streams_differ_across_nodes(self):
+        config = make_config(6)
+        placement = standard_instance(6, 6, 8, seed=0)
+        nodes = build_nodes(
+            IndexedBroadcastNode, config, placement, np.random.default_rng(42)
+        )
+        first_draws = {int(node.rng.integers(0, 2**63)) for node in nodes}
+        assert len(first_draws) == len(nodes)
+
+    def test_full_run_deterministic_for_fixed_seed(self):
+        config = make_config(8)
+        first = _run(IndexedBroadcastNode, config, BottleneckAdversary(), engine="auto")
+        second = _run(IndexedBroadcastNode, config, BottleneckAdversary(), engine="auto")
+        assert dataclasses.asdict(first.metrics) == dataclasses.asdict(second.metrics)
