@@ -22,15 +22,26 @@ from pathlib import Path
 from repro.algorithms import IndexedBroadcastNode
 from repro.coding.rlnc import GenerationState
 from repro.network import BottleneckAdversary
+from repro.simulation import run_dissemination, standard_instance
 
-from common import make_config, run_once
+from common import make_config
 
 BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_MASK_FASTPATH.json"
 
 
 def _one_run() -> None:
-    result = run_once(
-        IndexedBroadcastNode, make_config(64, d=8, b=96), BottleneckAdversary, seed=0
+    # Pinned to the mask engine: this bench isolates the coding layer's
+    # mask-native vs generic-array pipelines, and the kernel engine (which
+    # "auto" would pick) bypasses GenerationState's pipeline switch.
+    config = make_config(64, d=8, b=96)
+    placement = standard_instance(64, 64, 8, seed=0)
+    result = run_dissemination(
+        IndexedBroadcastNode,
+        config,
+        placement,
+        BottleneckAdversary(),
+        seed=0,
+        engine="mask",
     )
     assert result.completed and result.correct
 

@@ -102,6 +102,10 @@ class TokenForwardingNode(ProtocolNode):
                     break
         return out
 
+    def _invalidate_compose_cache(self) -> None:
+        """Drop the memoised compose() result (state restored out-of-band)."""
+        self._compose_cache = _STALE
+
     def compose(self, round_index: int) -> Message | None:
         # The broadcast depends only on the pending set, which changes far
         # less often than once per round; reuse the (immutable) message until
@@ -146,6 +150,13 @@ class PipelinedTokenForwardingNode(ProtocolNode):
     topology neighbours stay fixed long enough for a sweep to hand over many
     distinct tokens per neighbour, which is where the factor-``T`` advantage
     of stable networks for token forwarding comes from (Theorem 2.1).
+
+    The "fewest sends first, then smallest id" candidate order is kept in
+    incrementally-maintained buckets (send count -> id-sorted token list)
+    instead of re-sorting every known token each round: compose pops the
+    prefix of the lowest buckets (O(batch) plus the shifted list tails) and
+    a newly learned token is one ``bisect.insort`` into bucket zero —
+    mirroring :class:`TokenForwardingNode`'s sorted-pending list.
     """
 
     def __init__(self, uid: int, config: ProtocolConfig, rng: np.random.Generator):
@@ -153,21 +164,51 @@ class PipelinedTokenForwardingNode(ProtocolNode):
         self.batch = tokens_per_message(config)
         #: How many times each known token has been broadcast by this node.
         self._send_counts: dict[TokenId, int] = {}
+        #: send count -> known tokens with that count, sorted by id.
+        self._buckets: dict[int, list[Token]] = {}
+
+    def setup(self, initial_tokens: Sequence[Token]) -> None:
+        super().setup(initial_tokens)
+        if self.known:
+            self._buckets = {0: sorted(self.known.values(), key=_token_sort_key)}
 
     def compose(self, round_index: int) -> Message | None:
         if not self.known:
             return None
         # Forward never-sent tokens first (classic pipelining); once every
         # known token has been sent at least once, keep cycling so nodes that
-        # meet us later in a dynamic network still receive everything.
-        candidates = sorted(
-            self.known.values(),
-            key=lambda t: (self._send_counts.get(t.token_id, 0), t.token_id),
-        )
-        chosen = candidates[: self.batch]
-        for token in chosen:
-            self._send_counts[token.token_id] = self._send_counts.get(token.token_id, 0) + 1
+        # meet us later in a dynamic network still receive everything.  The
+        # chosen tokens are the prefix of the buckets in ascending (count,
+        # id) order — exactly sorted(known, key=(count, id))[:batch].
+        chosen: list[Token] = []
+        moved: list[tuple[int, list[Token]]] = []
+        for count in sorted(self._buckets):
+            bucket = self._buckets[count]
+            take = self.batch - len(chosen)
+            if take <= 0:
+                break
+            taken = bucket[:take]
+            del bucket[:take]
+            if not bucket:
+                del self._buckets[count]
+            chosen.extend(taken)
+            moved.append((count + 1, taken))
+        # Re-file after the scan so a token sent this round cannot be taken
+        # again from the next bucket within the same compose.
+        for target, taken in moved:
+            destination = self._buckets.setdefault(target, [])
+            for token in taken:
+                self._send_counts[token.token_id] = target
+                bisect.insort(destination, token, key=_token_sort_key)
         return TokenForwardMessage(sender=self.uid, tokens=tuple(chosen))
+
+    def _learn_token(self, token: Token) -> bool:
+        if super()._learn_token(token):
+            bisect.insort(
+                self._buckets.setdefault(0, []), token, key=_token_sort_key
+            )
+            return True
+        return False
 
     def deliver(self, round_index: int, messages: Sequence[Message]) -> None:
         for message in messages:

@@ -16,13 +16,27 @@ representing a round graph as ``n`` integer bitmasks: bit ``v`` of
 
 :class:`Topology` is immutable and hashable (structural hash over the mask
 rows), which is what lets the runner validate each *distinct* topology once
-instead of once per round.  It also duck-types the small slice of the
-``networkx.Graph`` API the rest of the code base reads (``nodes``,
-``edges``, ``neighbors``, ``has_edge``, ``number_of_nodes/edges``), so
-adversaries can emit it natively while stability checkers and tests keep
-working unchanged; ``to_nx``/``from_nx`` convert (and cache) the full
-``networkx`` projection for consumers that need real graph algorithms
-(e.g. the Section 8.1 patch decomposition).
+instead of once per round (:class:`TopologyValidationCache` packages that
+single-slot identity cache for every engine).  It also duck-types the small
+slice of the ``networkx.Graph`` API the rest of the code base reads
+(``nodes``, ``edges``, ``neighbors``, ``has_edge``,
+``number_of_nodes/edges``), so adversaries can emit it natively while
+stability checkers and tests keep working unchanged; ``to_nx``/``from_nx``
+convert (and cache) the full ``networkx`` projection for consumers that
+need real graph algorithms (e.g. the Section 8.1 patch decomposition).
+
+Three derived adjacency representations are cached per object for the
+round engines:
+
+* :meth:`Topology.neighbors_tuple` — the per-node neighbour tuple the mask
+  engine's delivery loop reads (filled lazily node by node, so a static or
+  T-stable topology pays the bit iteration once, not once per round);
+* :meth:`Topology.packed_adjacency` — the ``(n, ceil(n/64))`` ``uint64``
+  matrix (bit ``v`` of row ``u`` ⇔ edge ``{u, v}``, 64 neighbours per
+  machine word) that the vectorised kernel engine consumes;
+* :meth:`Topology.csr_adjacency` — the flattened neighbour-index /
+  offset (CSR) arrays that turn whole-network delivery into one numpy
+  gather plus one ``reduceat``.
 
 The mask-native builders below are edge-identical twins of the
 ``networkx`` generators in :mod:`repro.network.graphs` — including their
@@ -39,6 +53,7 @@ import numpy as np
 
 __all__ = [
     "Topology",
+    "TopologyValidationCache",
     "as_topology",
     "path_topology",
     "ring_topology",
@@ -77,18 +92,75 @@ class Topology:
         :meth:`validate`, which the runner calls once per distinct object).
     """
 
-    __slots__ = ("n", "masks", "_nx", "_hash")
+    __slots__ = (
+        "n",
+        "_masks",
+        "_nx",
+        "_hash",
+        "_neighbor_tuples",
+        "_packed",
+        "_csr",
+        "_valid",
+    )
 
-    def __init__(self, n: int, masks: Sequence[int]):
+    def __init__(
+        self,
+        n: int,
+        masks: Sequence[int] | None = None,
+        *,
+        packed: np.ndarray | None = None,
+        pre_validated: bool = False,
+    ):
         self.n = n
-        # Coerce rows to Python ints: numpy integers (e.g. node labels drawn
-        # from a Generator, reaching here via from_nx/from_edges shifts) would
-        # silently wrap at 64 bits and lack arbitrary-precision bit ops.
-        self.masks = tuple(int(mask) for mask in masks)
-        if len(self.masks) != n:
-            raise ValueError(f"need {n} mask rows, got {len(self.masks)}")
+        if (masks is None) == (packed is None):
+            raise ValueError("give exactly one of masks / packed")
+        if masks is not None:
+            # Coerce rows to Python ints: numpy integers (e.g. node labels
+            # drawn from a Generator, reaching here via from_nx/from_edges
+            # shifts) would silently wrap at 64 bits and lack
+            # arbitrary-precision bit ops.
+            self._masks: tuple[int, ...] | None = tuple(int(mask) for mask in masks)
+            if len(self._masks) != n:
+                raise ValueError(f"need {n} mask rows, got {len(self._masks)}")
+            self._packed: np.ndarray | None = None
+        else:
+            words = max(1, (n + 63) // 64)
+            if packed.shape != (n, words) or packed.dtype != np.uint64:
+                raise ValueError(
+                    f"packed adjacency must be a ({n}, {words}) uint64 matrix, "
+                    f"got {packed.shape} {packed.dtype}"
+                )
+            # Take a private frozen copy: freezing the caller's array in
+            # place (or adopting a view over a writable base) would let
+            # external code mutate this "immutable" object after the hash,
+            # validity flag or mask rows were derived.
+            packed = np.ascontiguousarray(packed)
+            if packed.base is not None or packed.flags.writeable:
+                packed = packed.copy()
+            packed.flags.writeable = False
+            self._masks = None
+            self._packed = packed
         self._nx: nx.Graph | None = None
         self._hash: int | None = None
+        self._neighbor_tuples: list[tuple[int, ...] | None] | None = None
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+        #: True once legality is certain — set by builders whose output is
+        #: valid by construction, or after the first successful validate().
+        self._valid = bool(pre_validated)
+
+    @property
+    def masks(self) -> tuple[int, ...]:
+        """The per-node neighbour bitmask rows (lazily derived when the
+        topology was constructed from a packed matrix)."""
+        if self._masks is None:
+            packed = self._packed
+            stride = packed.shape[1] * 8
+            data = packed.astype("<u8", copy=False).tobytes()
+            self._masks = tuple(
+                int.from_bytes(data[u * stride : (u + 1) * stride], "little")
+                for u in range(self.n)
+            )
+        return self._masks
 
     # ------------------------------------------------------------------
     # construction / interop
@@ -102,6 +174,21 @@ class Topology:
             masks[u] |= 1 << v
             masks[v] |= 1 << u
         return cls(n, masks)
+
+    @classmethod
+    def from_packed(
+        cls, n: int, packed: np.ndarray, *, pre_validated: bool = False
+    ) -> "Topology":
+        """Build a topology directly from a packed ``uint64`` adjacency matrix.
+
+        The integer mask rows are derived lazily, so fully vectorised
+        builders (and the kernel engine consuming :meth:`packed_adjacency` /
+        :meth:`csr_adjacency`) never materialise per-node Python ints.
+        ``pre_validated`` certifies the matrix is a legal round topology by
+        construction — reserve it for builders that guarantee symmetry,
+        no self-loops and connectedness.
+        """
+        return cls(n, packed=packed, pre_validated=pre_validated)
 
     @classmethod
     def from_nx(cls, graph: nx.Graph) -> "Topology":
@@ -150,6 +237,61 @@ class Topology:
     def neighbors(self, u: int) -> Iterator[int]:
         """The neighbours of ``u`` in ascending order."""
         return _iter_bits(self.masks[u])
+
+    def neighbors_tuple(self, u: int) -> tuple[int, ...]:
+        """The neighbours of ``u`` in ascending order, as a cached tuple.
+
+        Filled lazily one node at a time, so the first delivery loop over a
+        static or T-stable topology pays the per-bit iteration once and
+        every later round reads the tuple directly.
+        """
+        cache = self._neighbor_tuples
+        if cache is None:
+            cache = self._neighbor_tuples = [None] * self.n
+        cached = cache[u]
+        if cached is None:
+            cached = cache[u] = tuple(_iter_bits(self.masks[u]))
+        return cached
+
+    def packed_adjacency(self) -> np.ndarray:
+        """The adjacency as an ``(n, ceil(n/64))`` ``uint64`` matrix.
+
+        Bit ``v`` of row ``u`` (word ``v // 64``, bit ``v % 64``,
+        little-endian words) is set iff ``{u, v}`` is an edge — the same
+        LSB-first convention as the integer ``masks``.  Built once per
+        object and cached; the returned array is marked read-only.
+        """
+        if self._packed is None:
+            words = max(1, (self.n + 63) // 64)
+            data = b"".join(mask.to_bytes(words * 8, "little") for mask in self.masks)
+            packed = np.frombuffer(data, dtype="<u8").reshape(self.n, words)
+            packed = np.ascontiguousarray(packed).astype(np.uint64, copy=False)
+            packed.flags.writeable = False
+            self._packed = packed
+        return self._packed
+
+    def csr_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened neighbour indices plus row offsets (CSR form).
+
+        Returns ``(indices, indptr)`` where ``indices[indptr[u]:indptr[u+1]]``
+        are the neighbours of ``u`` in ascending order.  This is what lets
+        the kernel engine deliver a whole round with one fancy-index gather
+        and one ``np.bitwise_or.reduceat`` instead of per-node Python loops.
+        Cached per object, like :meth:`packed_adjacency`.
+        """
+        if self._csr is None:
+            packed = self.packed_adjacency()
+            bits = np.unpackbits(
+                packed.view(np.uint8).reshape(self.n, -1),
+                axis=1,
+                count=self.n,
+                bitorder="little",
+            ).view(bool)  # flatnonzero's bool fast path skips a != 0 temp
+            indices = np.flatnonzero(bits) % self.n
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(bits.sum(axis=1, dtype=np.int64), out=indptr[1:])
+            self._csr = (indices, indptr)
+        return self._csr
 
     def has_edge(self, u: int, v: int) -> bool:
         return bool((self.masks[u] >> v) & 1)
@@ -211,9 +353,16 @@ class Topology:
         rows (only reachable by hand-built masks), out-of-range neighbour
         bits, or disconnectedness — mirroring
         :func:`repro.network.graphs.validate_topology`.
+
+        Topologies that are valid by construction — built by the mask-native
+        builders below, or already validated once (the object is immutable)
+        — short-circuit, so the per-round validation cost of trusted
+        adversaries is a flag test.
         """
         if n is not None and n != self.n:
             raise ValueError(f"topology must have node set 0..{n - 1}, got 0..{self.n - 1}")
+        if self._valid:
+            return
         full = _full_mask(self.n)
         for u, mask in enumerate(self.masks):
             if mask & ~full:
@@ -226,6 +375,7 @@ class Topology:
                     raise ValueError(f"asymmetric edge ({u}, {u + v})")
         if not self.is_connected():
             raise ValueError("round topology must be connected")
+        self._valid = True
 
 
 def as_topology(graph: "Topology | nx.Graph", n: int | None = None) -> Topology:
@@ -248,9 +398,42 @@ def as_topology(graph: "Topology | nx.Graph", n: int | None = None) -> Topology:
     return topology
 
 
+class TopologyValidationCache:
+    """Single-slot identity-keyed round-topology validation cache.
+
+    Static and T-stable adversaries return the same topology object round
+    after round, so remembering only the most recent one already gives the
+    once-per-topology (instead of once-per-round) validation win without
+    pinning every per-round topology of a long run.  Only immutable
+    :class:`Topology` objects are cached by identity — an adversary may
+    legally mutate and re-return one ``networkx.Graph`` between rounds, so
+    nx inputs are re-converted and re-validated every time.  Shared by the
+    mask and kernel engines.
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self) -> None:
+        self._last: tuple[Topology, Topology] | None = None
+
+    def validated(self, graph: "Topology | nx.Graph", n: int) -> Topology:
+        """Coerce ``graph`` to a :class:`Topology` validated for ``n`` nodes."""
+        if self._last is not None and self._last[0] is graph:
+            return self._last[1]
+        topology = as_topology(graph, n)
+        topology.validate(n)
+        if isinstance(graph, Topology):
+            self._last = (graph, topology)
+        return topology
+
+
 # ----------------------------------------------------------------------
 # mask-native builders (edge-identical twins of repro.network.graphs)
 # ----------------------------------------------------------------------
+#
+# Every builder below produces a legal round topology by construction
+# (symmetric, self-loop free, connected), so it passes ``pre_validated``
+# and the engines' per-round validation collapses to a flag test.
 
 
 def path_topology(n: int, order: Sequence[int] | None = None) -> Topology:
@@ -262,7 +445,7 @@ def path_topology(n: int, order: Sequence[int] | None = None) -> Topology:
     for u, v in zip(nodes, nodes[1:]):
         masks[u] |= 1 << v
         masks[v] |= 1 << u
-    return Topology(n, masks)
+    return Topology(n, masks, pre_validated=True)
 
 
 def ring_topology(n: int) -> Topology:
@@ -274,7 +457,7 @@ def ring_topology(n: int) -> Topology:
         v = (u + 1) % n
         masks[u] |= 1 << v
         masks[v] |= 1 << u
-    return Topology(n, masks)
+    return Topology(n, masks, pre_validated=True)
 
 
 def star_topology(n: int, center: int = 0) -> Topology:
@@ -285,13 +468,13 @@ def star_topology(n: int, center: int = 0) -> Topology:
     others = _full_mask(n) ^ center_bit
     masks = [center_bit] * n
     masks[center] = others
-    return Topology(n, masks)
+    return Topology(n, masks, pre_validated=True)
 
 
 def complete_topology(n: int) -> Topology:
     """The complete graph K_n."""
     full = _full_mask(n)
-    return Topology(n, [full ^ (1 << u) for u in range(n)])
+    return Topology(n, [full ^ (1 << u) for u in range(n)], pre_validated=True)
 
 
 def clique_pair_topology(
@@ -306,16 +489,36 @@ def clique_pair_topology(
     the group mask, one to write every member's row.
     """
     masks = [0] * n
+    group_masks = []
     for group in (group_a, group_b):
         group_mask = 0
         for u in group:
             group_mask |= 1 << u
+        group_masks.append(group_mask)
         for u in group:
             masks[u] |= group_mask ^ (1 << u)
+    bridges = list(bridges)
     for u, v in bridges:
         masks[u] |= 1 << v
         masks[v] |= 1 << u
-    return Topology(n, masks)
+    # Valid by construction when the groups cover every node, no bridge is
+    # degenerate (a (u, u) bridge would write a self-loop bit), and a bridge
+    # joins the two (possibly overlapping) cliques: each clique is
+    # internally connected and the cross edge connects them.
+    mask_a, mask_b = group_masks
+    valid = (
+        (mask_a | mask_b) == _full_mask(n)
+        and all(u != v for u, v in bridges)
+        and (
+            bool(mask_a & mask_b)
+            or any(
+                ((mask_a >> u) & 1 and (mask_b >> v) & 1)
+                or ((mask_b >> u) & 1 and (mask_a >> v) & 1)
+                for u, v in bridges
+            )
+        )
+    )
+    return Topology(n, masks, pre_validated=valid and n > 0)
 
 
 def split_topology(n: int, informed: Iterable[int], bridge_pairs: int = 1) -> Topology:
@@ -336,14 +539,14 @@ def random_tree_topology(n: int, rng: np.random.Generator) -> Topology:
     """A random tree drawing the same RNG sequence as ``graphs.random_tree``."""
     masks = [0] * n
     if n <= 1:
-        return Topology(n, masks)
+        return Topology(n, masks, pre_validated=True)
     order = list(rng.permutation(n))
     for i in range(1, n):
         parent = int(order[int(rng.integers(0, i))])
         child = int(order[i])
         masks[child] |= 1 << parent
         masks[parent] |= 1 << child
-    return Topology(n, masks)
+    return Topology(n, masks, pre_validated=True)
 
 
 def random_connected_topology(
@@ -364,21 +567,31 @@ def random_connected_topology(
         if u != v:
             masks[u] |= 1 << v
             masks[v] |= 1 << u
-    return Topology(n, masks)
+    return Topology(n, masks, pre_validated=True)
 
 
 def shifted_ring_topology(n: int, round_index: int) -> Topology:
-    """Mask-native twin of ``graphs.shifted_ring``."""
+    """Mask-native twin of ``graphs.shifted_ring``.
+
+    Built fully vectorised in packed form — a fresh per-round ring is the
+    kernel engine's hottest topology workload, and a Python per-node edge
+    loop would dominate its round cost.  The stride is coprime to ``n``, so
+    the walk is one ``n``-cycle: connected by construction.
+    """
     if n < 3:
         return path_topology(n)
     shift = round_index % n
     stride = 1 + (round_index % max(1, n - 2))
     while np.gcd(stride, n) != 1:
         stride += 1
-    masks = [0] * n
-    for i in range(n):
-        u = (shift + i * stride) % n
-        v = (shift + (i + 1) * stride) % n
-        masks[u] |= 1 << v
-        masks[v] |= 1 << u
-    return Topology(n, masks)
+    walk = (shift + np.arange(n + 1, dtype=np.int64) * stride) % n
+    u, v = walk[:-1], walk[1:]
+    rows = np.concatenate([u, v])
+    cols = np.concatenate([v, u])
+    packed = np.zeros((n, (n + 63) // 64), dtype=np.uint64)
+    np.bitwise_or.at(
+        packed,
+        (rows, cols >> 6),
+        np.uint64(1) << (cols & np.int64(63)).astype(np.uint64),
+    )
+    return Topology.from_packed(n, packed, pre_validated=True)

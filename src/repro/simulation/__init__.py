@@ -1,4 +1,4 @@
-"""Simulation engine: round executor, metrics, experiment harness."""
+"""Simulation engine: round executors (kernel/mask/legacy), metrics, harness."""
 
 from .experiments import (
     Measurement,
@@ -14,11 +14,13 @@ from .experiments import (
     sweep,
     sweep_tasks,
 )
+from .kernels import RoundKernel, kernel_for, register_kernel
 from .metrics import RunMetrics
 from .runner import RunResult, build_nodes, run_dissemination
 
 __all__ = [
     "Measurement",
+    "RoundKernel",
     "RunMetrics",
     "RunResult",
     "SweepCache",
@@ -27,7 +29,9 @@ __all__ = [
     "build_nodes",
     "fit_power_law",
     "format_table",
+    "kernel_for",
     "measure",
+    "register_kernel",
     "ratio_table",
     "run_dissemination",
     "run_sweep_task",

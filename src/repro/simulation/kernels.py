@@ -1,0 +1,842 @@
+"""Vectorised kernel engine: whole-network rounds as packed numpy array ops.
+
+The mask engine (PR 2) removed the per-round graph and snapshot overhead but
+still executes O(n) Python-object calls per round: one ``compose`` and one
+``deliver`` per node, per-bit neighbour iteration during delivery, one
+``_learn_token`` per received token.  For protocols whose per-node state is
+small and regular, that Python dispatch *is* the remaining cost.
+
+This module adds a third execution engine in which a protocol ships a
+:class:`RoundKernel`: whole-network state lives in packed numpy arrays — an
+``(n, ceil(k/64))`` ``uint64`` knowledge matrix, send/size/delivered arrays
+— and one round is
+
+1. ``compose_all`` — every node's broadcast selected at once,
+2. masked adjacency propagation — one fancy-index gather over the
+   topology's CSR neighbour arrays plus one ``np.bitwise_or.reduceat``,
+3. ``deliver_all`` — the whole network's knowledge updated in a handful of
+   array operations,
+
+with no per-node Python objects on the hot path.  The engine drives
+adversaries (through lazy :class:`~repro.network.adversary.NodeStateView`
+sequences), budget accounting, metrics, and incremental completion exactly
+as the mask engine does: kernel and mask runs report byte-identical
+:class:`~repro.simulation.metrics.RunMetrics` for identical seeds (the node
+rng streams come from the same ``rng.spawn`` order, and every random draw
+is performed against the same per-node generator in the same order).
+
+Kernels ship for the four regular-state protocols:
+
+* :class:`TokenForwardingKernel` / :class:`PipelinedTokenForwardingKernel`
+  — fully vectorised: token selection, delivery and phase commits are
+  packed-array operations;
+* :class:`RandomForwardKernel` — per-node ``rng.choice`` draws are kept
+  (bit-exact stream compatibility) but state is integer bit masks and all
+  metrics bookkeeping is vectorised;
+* :class:`IndexedBroadcastKernel` — the GF(2) coded broadcaster with
+  round-batched mask inserts into each node's
+  :class:`~repro.coding.subspace.Subspace`, skipping the per-message
+  envelope/budget/snapshot machinery entirely.
+
+A finished run is materialised back into ordinary protocol nodes by
+:meth:`RoundKernel.to_nodes`, so ``RunResult.nodes``, the correctness check
+and post-hoc inspection keep working unchanged.
+
+Custom protocols can register their own kernels with
+:func:`register_kernel`; ``run_dissemination(engine="auto")`` picks the
+kernel engine whenever the factory is a registered node class, the
+configuration is supported, and the adversary is not omniscient
+(``sees_messages`` adversaries must inspect per-node message objects,
+which the kernel engine deliberately never builds).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence as _SequenceABC
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..algorithms.base import ProtocolConfig, ProtocolNode
+from ..algorithms.indexed_broadcast import IndexedBroadcastNode
+from ..algorithms.random_forward import RandomForwardNode
+from ..algorithms.token_forwarding import (
+    PipelinedTokenForwardingNode,
+    TokenForwardingNode,
+    tokens_per_message,
+)
+from ..network.adversary import Adversary, NodeStateView
+from ..network.topology import TopologyValidationCache, _iter_bits
+from ..tokens.message import MessageSizeExceeded
+from ..tokens.token import TokenId, TokenPlacement
+from .metrics import RunMetrics
+
+__all__ = [
+    "KERNEL_REGISTRY",
+    "KernelUnsupported",
+    "RoundKernel",
+    "TokenForwardingKernel",
+    "PipelinedTokenForwardingKernel",
+    "RandomForwardKernel",
+    "IndexedBroadcastKernel",
+    "kernel_for",
+    "register_kernel",
+    "run_kernel_rounds",
+]
+
+
+class KernelUnsupported(Exception):
+    """Raised by a kernel constructor when the built nodes cannot be lifted.
+
+    ``kernel_for`` screens on the *configuration*; some preconditions are
+    only visible on the constructed node objects (e.g. a coding state forced
+    off the mask-native pipeline).  Under ``engine="auto"`` the runner
+    catches this and falls back to the mask engine; an explicit
+    ``engine="kernel"`` surfaces it as a ``ValueError``.
+    """
+
+
+# ----------------------------------------------------------------------
+# packed-row helpers
+# ----------------------------------------------------------------------
+
+
+def _packed_width(k: int) -> int:
+    """Words per packed knowledge row (at least one, so shapes stay 2-D)."""
+    return max(1, (k + 63) // 64)
+
+
+def _full_row(k: int, width: int) -> np.ndarray:
+    """A packed row with exactly bits ``0..k-1`` set."""
+    full = np.zeros(width, dtype=np.uint64)
+    whole, rem = divmod(k, 64)
+    full[:whole] = ~np.uint64(0)
+    if rem:
+        full[whole] = np.uint64((1 << rem) - 1)
+    return full
+
+
+def _row_bits(row: np.ndarray) -> Iterator[int]:
+    """Yield the set bit positions of one packed uint64 row, ascending."""
+    return _iter_bits(
+        int.from_bytes(np.ascontiguousarray(row, dtype="<u8").tobytes(), "little")
+    )
+
+
+def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
+    return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+
+
+def _select_lowest_bits(
+    pending: np.ndarray, batch: int, costs: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Select the up-to-``batch`` lowest set bits of every packed row.
+
+    Returns the selection as a packed matrix of the same shape and, when
+    ``costs`` (one entry per bit index) is given, the per-row cost sum of
+    the selected bits.  This is the whole-network twin of the per-node
+    "smallest pending tokens" prefix scan, batch-independent: unpack, rank
+    each row's set bits with a running cumsum, keep ranks ``<= batch``,
+    repack — a fixed handful of O(n * k) vectorised passes.
+    """
+    n, width = pending.shape
+    bits = np.unpackbits(
+        pending.view(np.uint8).reshape(n, -1), axis=1, bitorder="little"
+    )
+    ranks = np.cumsum(bits, axis=1, dtype=np.int32)
+    keep = (bits != 0) & (ranks <= batch)
+    selection = (
+        np.packbits(keep, axis=1, bitorder="little").view(np.uint64).reshape(n, width)
+    )
+    sizes = None
+    if costs is not None:
+        k = costs.shape[0]
+        sizes = np.where(keep[:, :k], costs, 0).sum(axis=1)
+    return selection, sizes
+
+
+def _neighbor_or(send: np.ndarray, indices: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-node OR of the neighbours' packed send rows (the propagation step).
+
+    One gather plus one ``reduceat``; a validated (connected, n >= 2)
+    topology has no empty neighbour segments, and the degenerate n == 1
+    case has no edges at all.
+    """
+    if indices.size == 0:
+        return np.zeros_like(send)
+    return np.bitwise_or.reduceat(send[indices], indptr[:-1], axis=0)
+
+
+class _KernelStateViews(_SequenceABC):
+    """Lazy per-round state-view sequence handed to adaptive adversaries.
+
+    Views are built on demand, so oblivious adversaries (which never read
+    node state) cost zero per-node work per round, while adaptive ones see
+    exactly the accessors the mask engine provides.
+    """
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "RoundKernel"):
+        self._kernel = kernel
+
+    def __len__(self) -> int:
+        return self._kernel.n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._kernel.n))]
+        n = self._kernel.n
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        return self._kernel.state_view(index)
+
+
+# ----------------------------------------------------------------------
+# the kernel contract and registry
+# ----------------------------------------------------------------------
+
+
+class RoundKernel(abc.ABC):
+    """Whole-network packed state plus the three per-round hooks.
+
+    A kernel is constructed from the freshly built (and mask-enabled) node
+    objects, lifts their initial state into packed arrays, executes rounds
+    through :meth:`compose_all` / :meth:`deliver_all`, and finally writes
+    the terminal state back into the same node objects via
+    :meth:`to_nodes`.
+    """
+
+    #: Message class name used in budget-violation errors.
+    message_name = "Message"
+    #: The node class this kernel implements (set by :func:`register_kernel`).
+    node_class: type | None = None
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        placement: TokenPlacement,
+        token_index: Mapping[TokenId, int],
+        nodes: Sequence[ProtocolNode],
+    ):
+        self.config = config
+        self.n = config.n
+        self.token_index = token_index
+        by_id = placement.by_id()
+        #: Placement tokens in bit-index order (token ids sort ascending).
+        self.tokens = [by_id[tid] for tid in sorted(token_index)]
+        self.k = len(self.tokens)
+        self._counts_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def supports(cls, config: ProtocolConfig) -> bool:
+        """Whether this kernel implements the protocol under ``config``."""
+        return True
+
+    @abc.abstractmethod
+    def compose_all(self, round_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Select every node's round broadcast at once.
+
+        Returns ``(active, sizes)``: a boolean array marking nodes that
+        broadcast (False = silence) and the per-node message sizes in bits
+        (zero for silent nodes).  The composed payloads stay inside the
+        kernel for :meth:`deliver_all`.
+        """
+
+    @abc.abstractmethod
+    def deliver_all(
+        self,
+        round_index: int,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        active: np.ndarray,
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Deliver the round over CSR adjacency; return per-node change flags.
+
+        ``indices`` / ``indptr`` are the topology's CSR neighbour arrays
+        (ascending neighbour uid per node — the engines' delivery order),
+        ``active`` the compose flags and ``counts`` the per-node number of
+        broadcasting neighbours.  The returned boolean array must be True
+        exactly where the node's ``(len(known), coded_rank)`` fingerprint
+        changed — the mask engine's useless-delivery criterion.
+        """
+
+    @abc.abstractmethod
+    def _known_counts_now(self) -> np.ndarray:
+        """Per-node ``len(known)``, freshly computed."""
+
+    def known_counts(self) -> np.ndarray:
+        """Per-node ``len(known)`` (cached until the next delivery)."""
+        if self._counts_cache is None:
+            self._counts_cache = self._known_counts_now()
+        return self._counts_cache
+
+    @abc.abstractmethod
+    def all_complete(self) -> bool:
+        """True iff every node knows every placement token."""
+
+    def finished_all(self) -> bool:
+        """True iff every node has locally terminated (default: never)."""
+        return False
+
+    @abc.abstractmethod
+    def state_view(self, uid: int) -> NodeStateView:
+        """The sanitised adversary view of one node (built on demand)."""
+
+    def state_views(self) -> Sequence[NodeStateView]:
+        """Lazy sequence of this round's state views."""
+        return _KernelStateViews(self)
+
+    def to_nodes(self, nodes: Sequence[ProtocolNode]) -> None:
+        """Write the terminal packed state back into the node objects."""
+
+
+KERNEL_REGISTRY: dict[object, type[RoundKernel]] = {}
+
+
+def register_kernel(node_class: type):
+    """Class decorator registering a :class:`RoundKernel` for a node class.
+
+    Registration is by *exact* class identity: a subclass may change
+    behaviour arbitrarily, so it never inherits its parent's kernel (it
+    runs on the mask or legacy engine until it registers its own).
+    """
+
+    def decorator(kernel_cls: type[RoundKernel]) -> type[RoundKernel]:
+        KERNEL_REGISTRY[node_class] = kernel_cls
+        kernel_cls.node_class = node_class
+        return kernel_cls
+
+    return decorator
+
+
+def kernel_for(factory, config: ProtocolConfig) -> type[RoundKernel] | None:
+    """The registered kernel class for a protocol factory, or None.
+
+    Only factories that *are* a registered node class resolve (closures,
+    ``functools.partial`` wrappers and subclasses fall back to the mask
+    engine); the kernel may further decline unsupported configurations
+    through :meth:`RoundKernel.supports`.
+    """
+    try:
+        kernel_cls = KERNEL_REGISTRY.get(factory)
+    except TypeError:  # unhashable factory
+        return None
+    if kernel_cls is None or not kernel_cls.supports(config):
+        return None
+    return kernel_cls
+
+
+# ----------------------------------------------------------------------
+# the engine loop
+# ----------------------------------------------------------------------
+
+
+def run_kernel_rounds(
+    kernel: RoundKernel,
+    config: ProtocolConfig,
+    adversary: Adversary,
+    metrics: RunMetrics,
+    *,
+    max_rounds: int,
+    stop_at_completion: bool,
+    record_topologies: bool,
+    track_progress: bool,
+) -> list:
+    """Execute rounds on a kernel; mirrors the mask engine's round semantics.
+
+    Per round: lazy state views -> ``choose_topology`` -> identity-cached
+    validation -> ``compose_all`` -> vectorised budget/broadcast accounting
+    -> CSR delivery (gather + ``reduceat``) -> vectorised useless-delivery
+    and completion bookkeeping.  Returns the recorded topologies.
+    """
+    n = config.n
+    limit = config.budget.limit_bits
+    cache = TopologyValidationCache()
+    topologies: list = []
+
+    for round_index in range(max_rounds):
+        states = kernel.state_views()
+        graph = adversary.choose_topology(round_index, n, states)
+        topology = cache.validated(graph, n)
+        if record_topologies:
+            topologies.append(topology)
+
+        active, sizes = kernel.compose_all(round_index)
+
+        broadcasts = int(active.sum())
+        metrics.silent_rounds += n - broadcasts
+        if broadcasts:
+            max_bits = int(sizes.max())
+            if max_bits > limit:
+                raise MessageSizeExceeded(
+                    f"{kernel.message_name} is {max_bits} bits, exceeding the "
+                    f"budget of {limit} bits (b={config.budget.b}, "
+                    f"slack={config.budget.slack})"
+                )
+            metrics.broadcasts += broadcasts
+            metrics.total_message_bits += int(sizes.sum())
+            if max_bits > metrics.max_message_bits:
+                metrics.max_message_bits = max_bits
+
+        indices, indptr = topology.csr_adjacency()
+        if indices.size:
+            counts = np.add.reduceat(active[indices].astype(np.int64), indptr[:-1])
+        else:
+            counts = np.zeros(n, dtype=np.int64)
+
+        changed = kernel.deliver_all(round_index, indices, indptr, active, counts)
+
+        metrics.deliveries += int(counts.sum())
+        useless = (counts > 0) & ~changed
+        if useless.any():
+            metrics.useless_deliveries += int(counts[useless].sum())
+
+        metrics.rounds_executed = round_index + 1
+
+        if track_progress:
+            known = kernel.known_counts()
+            metrics.progress.append(
+                (round_index + 1, int(known.min()), float(np.mean(known)))
+            )
+
+        if metrics.completion_round is None and kernel.all_complete():
+            metrics.completion_round = round_index + 1
+
+        if metrics.completion_round is not None:
+            if stop_at_completion or kernel.finished_all():
+                break
+
+    return topologies
+
+
+# ----------------------------------------------------------------------
+# packed forwarding kernels
+# ----------------------------------------------------------------------
+
+
+class _PackedKnowledgeKernel(RoundKernel):
+    """Shared plumbing for kernels whose knowledge is a packed bit matrix."""
+
+    message_name = "TokenForwardMessage"
+
+    def __init__(self, config, placement, token_index, nodes):
+        super().__init__(config, placement, token_index, nodes)
+        self.batch = tokens_per_message(config)
+        self.width = _packed_width(self.k)
+        self.full = _full_row(self.k, self.width)
+        #: Wire cost of each token by bit index (id bits + payload bits).
+        self.costs = np.array(
+            [t.token_id.bits + t.size_bits for t in self.tokens], dtype=np.int64
+        )
+        self.known = np.zeros((self.n, self.width), dtype=np.uint64)
+        for uid, node in enumerate(nodes):
+            for tid in node.known:
+                bit = token_index[tid]
+                self.known[uid, bit >> 6] |= np.uint64(1 << (bit & 63))
+        self._send: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _absorb(self, indices: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+        """OR the neighbours' send rows into ``known``; return change flags."""
+        inbox = _neighbor_or(self._send, indices, indptr)
+        new = self.known | inbox
+        changed = (new != self.known).any(axis=1)
+        self.known = new
+        self._counts_cache = None
+        return changed
+
+    def _known_counts_now(self) -> np.ndarray:
+        return _popcount_rows(self.known)
+
+    def all_complete(self) -> bool:
+        return bool((self.known == self.full).all())
+
+    # ------------------------------------------------------------------
+    def _knows(self, uid: int, token_id) -> bool:
+        bit = self.token_index.get(token_id)
+        if bit is None:
+            return False
+        return bool((int(self.known[uid, bit >> 6]) >> (bit & 63)) & 1)
+
+    def _known_ids(self, uid: int) -> list:
+        return [self.tokens[i].token_id for i in _row_bits(self.known[uid])]
+
+    def state_view(self, uid: int) -> NodeStateView:
+        counts = self.known_counts()
+        return NodeStateView(
+            uid=uid,
+            rank=0,
+            known_supplier=lambda: self._known_ids(uid),
+            known_count=int(counts[uid]),
+            membership=lambda token_id: self._knows(uid, token_id),
+        )
+
+
+@register_kernel(TokenForwardingNode)
+class TokenForwardingKernel(_PackedKnowledgeKernel):
+    """Phase-based flooding forwarding as packed array ops.
+
+    Per round: one ``_select_lowest_bits`` pass picks every node's
+    ``batch`` smallest known-but-undelivered tokens (identical to the
+    per-node sorted-pending prefix), delivery is one gather + OR-reduce,
+    and the consistent phase-boundary commit is a second selection pass
+    OR-ed into the packed ``delivered`` matrix.
+
+    A node's broadcast only changes when its pending set does, so the
+    selection is cached row-wise and recomputed for *dirty* rows only
+    (knowledge grew, or a phase commit touched the node) — the array twin
+    of the node-level memoised ``compose``.
+    """
+
+    def __init__(self, config, placement, token_index, nodes):
+        super().__init__(config, placement, token_index, nodes)
+        self.phase_length = config.extra_int("phase_length", config.n)
+        self.delivered = np.zeros_like(self.known)
+        self._sizes = np.zeros(self.n, dtype=np.int64)
+        self._active = np.zeros(self.n, dtype=bool)
+        self._send = np.zeros_like(self.known)
+        self._dirty = np.ones(self.n, dtype=bool)
+
+    def compose_all(self, round_index):
+        rows = np.flatnonzero(self._dirty)
+        if rows.size:
+            pending = self.known[rows] & ~self.delivered[rows]
+            selection, sizes = _select_lowest_bits(pending, self.batch, self.costs)
+            self._send[rows] = selection
+            self._sizes[rows] = sizes
+            self._active[rows] = pending.any(axis=1)
+            self._dirty[rows] = False
+        return self._active, self._sizes
+
+    def deliver_all(self, round_index, indices, indptr, active, counts):
+        changed = self._absorb(indices, indptr)
+        self._dirty |= changed
+        if (round_index + 1) % self.phase_length == 0:
+            commit, _ = _select_lowest_bits(
+                self.known & ~self.delivered, self.batch, None
+            )
+            self.delivered |= commit
+            self._dirty |= commit.any(axis=1)
+        return changed
+
+    def to_nodes(self, nodes):
+        for uid, node in enumerate(nodes):
+            known = {
+                self.tokens[i].token_id: self.tokens[i]
+                for i in _row_bits(self.known[uid])
+            }
+            delivered = {
+                self.tokens[i].token_id for i in _row_bits(self.delivered[uid])
+            }
+            node.known.clear()
+            node.known.update(known)
+            node.delivered = delivered
+            node._sorted_known = [
+                token for token in known.values() if token.token_id not in delivered
+            ]
+            node._invalidate_compose_cache()
+
+
+@register_kernel(PipelinedTokenForwardingNode)
+class PipelinedTokenForwardingKernel(_PackedKnowledgeKernel):
+    """Pipelined sweep forwarding with an ``(n, k)`` send-count matrix.
+
+    Every node's "fewest-sends-first, then smallest id" candidate order is
+    one ``argpartition`` over the key matrix ``send_count * k + index``
+    (exactly the per-node sort key, flattened into a single integer), so
+    composing the whole network is O(n k) with no Python per node.
+    """
+
+    _BIG = np.int64(1) << np.int64(62)
+
+    def __init__(self, config, placement, token_index, nodes):
+        super().__init__(config, placement, token_index, nodes)
+        self.send_counts = np.zeros((self.n, max(1, self.k)), dtype=np.int64)
+        self._cols = np.arange(max(1, self.k), dtype=np.int64)
+
+    def compose_all(self, round_index):
+        active = self.known.any(axis=1)
+        self._send = np.zeros_like(self.known)
+        sizes = np.zeros(self.n, dtype=np.int64)
+        if self.k == 0 or not active.any():
+            return active, sizes
+        known_bool = (
+            np.unpackbits(
+                self.known.view(np.uint8).reshape(self.n, -1),
+                axis=1,
+                count=self.k,
+                bitorder="little",
+            )
+            .astype(bool)
+        )
+        keys = np.where(
+            known_bool, self.send_counts[:, : self.k] * self.k + self._cols[: self.k], self._BIG
+        )
+        take = min(self.batch, self.k)
+        part = np.argpartition(keys, take - 1, axis=1)[:, :take]
+        part_keys = np.take_along_axis(keys, part, axis=1)
+        order = np.argsort(part_keys, axis=1)
+        chosen = np.take_along_axis(part, order, axis=1)
+        chosen_keys = np.take_along_axis(part_keys, order, axis=1)
+        valid = chosen_keys < self._BIG
+        sizes = np.where(valid, self.costs[chosen], 0).sum(axis=1)
+        rows = np.broadcast_to(np.arange(self.n)[:, None], chosen.shape)
+        r, c = rows[valid], chosen[valid]
+        # (r, c) pairs are unique (distinct columns per row), so plain fancy
+        # increments are safe; bit scatter needs or.at (several chosen bits
+        # can land in the same packed word of the same row).
+        self.send_counts[r, c] += 1
+        np.bitwise_or.at(
+            self._send,
+            (r, c >> 6),
+            np.uint64(1) << (c & np.int64(63)).astype(np.uint64),
+        )
+        return active, sizes
+
+    def deliver_all(self, round_index, indices, indptr, active, counts):
+        return self._absorb(indices, indptr)
+
+    def to_nodes(self, nodes):
+        for uid, node in enumerate(nodes):
+            bits = list(_row_bits(self.known[uid]))
+            node.known.clear()
+            node.known.update(
+                {self.tokens[i].token_id: self.tokens[i] for i in bits}
+            )
+            counts_row = self.send_counts[uid]
+            node._send_counts = {
+                self.tokens[i].token_id: int(counts_row[i])
+                for i in bits
+                if counts_row[i] > 0
+            }
+            buckets: dict[int, list] = {}
+            for i in bits:  # ascending id order within each bucket
+                buckets.setdefault(int(counts_row[i]), []).append(self.tokens[i])
+            node._buckets = buckets
+
+
+# ----------------------------------------------------------------------
+# random forwarding kernel
+# ----------------------------------------------------------------------
+
+
+@register_kernel(RandomForwardNode)
+class RandomForwardKernel(RoundKernel):
+    """Random forwarding with integer-mask state and vectorised accounting.
+
+    The protocol's randomness (``rng.choice`` over the node's tokens in
+    insertion order) must replay the exact per-node generator streams of
+    the object engines, so composition keeps one small draw per informed
+    node; everything else — knowledge (per-node int bit masks plus
+    insertion-order index lists), sizes, delivery counting, completion —
+    avoids Message/Token objects entirely.
+    """
+
+    message_name = "TokenForwardMessage"
+
+    def __init__(self, config, placement, token_index, nodes):
+        super().__init__(config, placement, token_index, nodes)
+        self.batch = tokens_per_message(config)
+        self.rngs = [node.rng for node in nodes]
+        self.costs = [t.token_id.bits + t.size_bits for t in self.tokens]
+        self.full = (1 << self.k) - 1
+        self.known_int: list[int] = []
+        self.order: list[list[int]] = []
+        for node in nodes:
+            indexes = [token_index[tid] for tid in node.known]  # insertion order
+            mask = 0
+            for i in indexes:
+                mask |= 1 << i
+            self.order.append(indexes)
+            self.known_int.append(mask)
+        self._incomplete = {
+            uid for uid in range(self.n) if self.known_int[uid] != self.full
+        }
+        self._chosen: list[list[int] | None] = [None] * self.n
+
+    def compose_all(self, round_index):
+        active = np.zeros(self.n, dtype=bool)
+        sizes = np.zeros(self.n, dtype=np.int64)
+        chosen_lists: list[list[int] | None] = [None] * self.n
+        costs = self.costs
+        batch = self.batch
+        for uid in range(self.n):
+            order = self.order[uid]
+            count = len(order)
+            if count == 0:
+                continue
+            if count <= batch:
+                chosen = order[:]  # copy: receivers append to order in-place
+            else:
+                picks = self.rngs[uid].choice(count, size=batch, replace=False)
+                chosen = [order[int(i)] for i in picks]
+            chosen_lists[uid] = chosen
+            active[uid] = True
+            sizes[uid] = sum(costs[i] for i in chosen)
+        self._chosen = chosen_lists
+        return active, sizes
+
+    def deliver_all(self, round_index, indices, indptr, active, counts):
+        changed = np.zeros(self.n, dtype=bool)
+        chosen = self._chosen
+        for uid in range(self.n):
+            start, stop = int(indptr[uid]), int(indptr[uid + 1])
+            if start == stop:
+                continue
+            mask = self.known_int[uid]
+            before = mask
+            order = self.order[uid]
+            for v in indices[start:stop]:
+                tokens = chosen[v]
+                if tokens is None:
+                    continue
+                for i in tokens:
+                    if not (mask >> i) & 1:
+                        mask |= 1 << i
+                        order.append(i)
+            if mask != before:
+                self.known_int[uid] = mask
+                changed[uid] = True
+        self._counts_cache = None
+        return changed
+
+    def _known_counts_now(self) -> np.ndarray:
+        return np.fromiter(
+            (len(order) for order in self.order), dtype=np.int64, count=self.n
+        )
+
+    def all_complete(self) -> bool:
+        full = self.full
+        known = self.known_int
+        self._incomplete = {uid for uid in self._incomplete if known[uid] != full}
+        return not self._incomplete
+
+    def state_view(self, uid: int) -> NodeStateView:
+        order = self.order[uid]
+        return NodeStateView(
+            uid=uid,
+            rank=0,
+            known_supplier=lambda: [self.tokens[i].token_id for i in order],
+            known_count=len(order),
+            membership=lambda token_id: self._knows(uid, token_id),
+        )
+
+    def _knows(self, uid: int, token_id) -> bool:
+        bit = self.token_index.get(token_id)
+        return bit is not None and bool((self.known_int[uid] >> bit) & 1)
+
+    def to_nodes(self, nodes):
+        for uid, node in enumerate(nodes):
+            node.known.clear()
+            for i in self.order[uid]:  # preserve learn order: compose draws
+                token = self.tokens[i]  # index the dict-ordered token list
+                node.known[token.token_id] = token
+
+
+# ----------------------------------------------------------------------
+# GF(2) coded broadcast kernel
+# ----------------------------------------------------------------------
+
+
+@register_kernel(IndexedBroadcastNode)
+class IndexedBroadcastKernel(RoundKernel):
+    """RLNC indexed broadcast with round-batched mask inserts.
+
+    Over GF(2) a coded vector already is a single Python int, so the win
+    here is not the linear algebra but everything around it: composed
+    masks go straight from ``random_combination_mask`` into the receivers'
+    ``Subspace.insert`` without ever being wrapped in a
+    :class:`~repro.tokens.message.CodedMessage`, the (constant) message
+    size is computed once, and all metric accounting is vectorised.  The
+    node objects stay live (their subspaces *are* the packed state), so
+    ``to_nodes`` is a no-op.
+    """
+
+    message_name = "CodedMessage"
+
+    @classmethod
+    def supports(cls, config: ProtocolConfig) -> bool:
+        # The mask-native subspace path requires GF(2); the deterministic
+        # variant draws pre-committed coefficients instead of rng bits.
+        return config.field_order == 2 and "deterministic_schedule" not in config.extra
+
+    def __init__(self, config, placement, token_index, nodes):
+        super().__init__(config, placement, token_index, nodes)
+        self.nodes = list(nodes)
+        if not all(node.state._mask_native for node in self.nodes):
+            raise KernelUnsupported(
+                "IndexedBroadcastKernel requires every node's GenerationState "
+                "to be on the mask-native GF(2) pipeline"
+            )
+        generation = self.nodes[0].generation
+        self.message_bits = (
+            generation.k
+            + generation.payload_symbols
+            + max(1, int(generation.generation_id).bit_length())
+        )
+        self.full_mask = (1 << len(token_index)) - 1
+        self._incomplete = {
+            uid
+            for uid, node in enumerate(self.nodes)
+            if node.knowledge_mask() != self.full_mask
+        }
+        self._masks: list[int | None] = [None] * self.n
+
+    def compose_all(self, round_index):
+        active = np.zeros(self.n, dtype=bool)
+        sizes = np.zeros(self.n, dtype=np.int64)
+        masks: list[int | None] = [None] * self.n
+        bits = self.message_bits
+        for uid, node in enumerate(self.nodes):
+            mask = node.state.subspace.random_combination_mask(node.rng)
+            if mask is not None:
+                masks[uid] = mask
+                active[uid] = True
+                sizes[uid] = bits
+        self._masks = masks
+        return active, sizes
+
+    def deliver_all(self, round_index, indices, indptr, active, counts):
+        changed = np.zeros(self.n, dtype=bool)
+        masks = self._masks
+        for uid, node in enumerate(self.nodes):
+            start, stop = int(indptr[uid]), int(indptr[uid + 1])
+            innovative = False
+            if start != stop:
+                insert = node.state.subspace.insert
+                for v in indices[start:stop]:
+                    mask = masks[v]
+                    if mask is not None and insert(mask):
+                        innovative = True
+            decoded_now = False
+            if not node._decoded:
+                node._try_decode()
+                decoded_now = node._decoded
+            changed[uid] = innovative or decoded_now
+        self._counts_cache = None
+        return changed
+
+    def _known_counts_now(self) -> np.ndarray:
+        return np.fromiter(
+            (len(node.known) for node in self.nodes), dtype=np.int64, count=self.n
+        )
+
+    def all_complete(self) -> bool:
+        full = self.full_mask
+        nodes = self.nodes
+        self._incomplete = {
+            uid for uid in self._incomplete if nodes[uid].knowledge_mask() != full
+        }
+        return not self._incomplete
+
+    def finished_all(self) -> bool:
+        return all(node.finished() for node in self.nodes)
+
+    def state_view(self, uid: int) -> NodeStateView:
+        return self.nodes[uid].state_view()

@@ -16,24 +16,35 @@ The runner also enforces the message budget, tracks metrics, detects
 completion (every node can output every token), and verifies payload
 correctness at the end.
 
-Two execution engines implement the identical round semantics:
+Three execution engines implement the identical round semantics:
 
-* **mask** (default whenever every node supports it) — topologies are
-  mask-native :class:`~repro.network.topology.Topology` objects validated
-  once per distinct object (identity-cached, so static and T-stable
-  adversaries are checked once per topology instead of once per round);
-  node state snapshots are lazy views; per-node knowledge is an
-  incrementally-maintained integer ``knowledge_mask`` so the completion
-  check, progress tracking and useless-delivery fingerprints are O(1)-O(n)
-  mask operations; and delivery iterates neighbour bitmasks directly.
+* **kernel** (default whenever the protocol ships a
+  :class:`~repro.simulation.kernels.RoundKernel`) — whole-network state
+  lives in packed numpy arrays and one round is ``compose_all`` -> masked
+  adjacency propagation (CSR gather + ``bitwise_or.reduceat``) ->
+  ``deliver_all``, with no per-node Python objects on the hot path; the
+  final state is materialised back into ordinary nodes.  See
+  :mod:`repro.simulation.kernels`.
+* **mask** — topologies are mask-native
+  :class:`~repro.network.topology.Topology` objects validated once per
+  distinct object (identity-cached, so static and T-stable adversaries are
+  checked once per topology instead of once per round); node state
+  snapshots are lazy views; per-node knowledge is an incrementally-
+  maintained integer ``knowledge_mask`` so the completion check, progress
+  tracking and useless-delivery fingerprints are O(1)-O(n) mask
+  operations; and delivery reads cached per-node neighbour tuples.
 * **legacy** — the original ``networkx``/frozenset data flow (fresh graph
   validation every round, eager frozenset snapshots, O(n*k) set-inclusion
   completion check).  Kept for custom protocols whose ``known_token_ids``
   overrides opt them out of mask tracking, and as the measured baseline of
   ``benchmarks/bench_e16_round_engine.py``.
 
-Both engines deliver each node's inbox in ascending neighbour-uid order and
-produce identical metrics for identical seeds (verified by tests).
+Under ``engine="auto"`` the most specialised applicable engine wins:
+kernel when the factory is a registered node class, the configuration is
+supported and the adversary is not omniscient; else mask when every node
+supports knowledge-mask tracking; else legacy.  All engines deliver each
+node's inbox in ascending neighbour-uid order and produce identical
+metrics for identical seeds (verified by tests).
 """
 
 from __future__ import annotations
@@ -47,9 +58,10 @@ import numpy as np
 from ..algorithms.base import ProtocolConfig, ProtocolFactory, ProtocolNode
 from ..network.adversary import Adversary
 from ..network.graphs import validate_topology
-from ..network.topology import Topology, as_topology
+from ..network.topology import Topology, TopologyValidationCache
 from ..tokens.message import Message
 from ..tokens.token import TokenPlacement
+from . import kernels
 from .metrics import RunMetrics
 
 __all__ = ["RunResult", "run_dissemination", "build_nodes"]
@@ -70,15 +82,19 @@ class RunResult:
         payload.  ``None`` when the run did not complete within its limit.
     topologies:
         The recorded topology sequence (only if ``record_topologies``):
-        :class:`~repro.network.topology.Topology` objects on the mask
-        engine, ``networkx`` graphs on the legacy engine.  Both satisfy the
-        stability checkers in :mod:`repro.network.stability`.
+        :class:`~repro.network.topology.Topology` objects on the kernel and
+        mask engines, ``networkx`` graphs on the legacy engine.  Both
+        satisfy the stability checkers in :mod:`repro.network.stability`.
+    engine:
+        Which execution engine actually ran: ``"kernel"``, ``"mask"`` or
+        ``"legacy"`` (resolves the ``engine="auto"`` choice for callers).
     """
 
     metrics: RunMetrics
     nodes: list[ProtocolNode]
     correct: bool | None
     topologies: list = field(default_factory=list)
+    engine: str = ""
 
     @property
     def rounds(self) -> int:
@@ -170,12 +186,17 @@ def run_dissemination(
     track_progress:
         Record per-round (min, mean) known-token counts in the metrics.
     engine:
-        ``"auto"`` (mask fast path when every node supports it, else
-        legacy), ``"mask"`` (require the fast path; raises if a node opts
-        out), or ``"legacy"`` (force the original nx/frozenset data flow).
+        ``"auto"`` (the most specialised applicable engine: kernel, else
+        mask, else legacy), ``"kernel"`` (require a registered
+        :class:`~repro.simulation.kernels.RoundKernel`; raises if the
+        protocol has none or the adversary is omniscient), ``"mask"``
+        (require the mask fast path; raises if a node opts out), or
+        ``"legacy"`` (force the original nx/frozenset data flow).
     """
-    if engine not in ("auto", "mask", "legacy"):
-        raise ValueError(f"engine must be 'auto', 'mask' or 'legacy', got {engine!r}")
+    if engine not in ("auto", "mask", "legacy", "kernel"):
+        raise ValueError(
+            f"engine must be 'auto', 'mask', 'legacy' or 'kernel', got {engine!r}"
+        )
     adversary.reset()
     rng = np.random.default_rng(seed)
     nodes = build_nodes(factory, config, placement, rng)
@@ -186,7 +207,7 @@ def run_dissemination(
     if max_rounds is None:
         max_rounds = 20 * config.n * max(1, config.k) + 200
 
-    # Mask engine setup: a stable token-id -> bit-index mapping shared by all
+    # Fast-path setup: a stable token-id -> bit-index mapping shared by all
     # nodes.  Nodes whose class overrides known_token_ids() decline tracking,
     # which drops the whole run to the legacy engine under "auto".
     token_index = {tid: i for i, tid in enumerate(sorted(all_token_ids))}
@@ -196,36 +217,86 @@ def run_dissemination(
             "engine='mask' requires every node to support knowledge-mask "
             "tracking (a node class overriding known_token_ids() opted out)"
         )
+
+    # Kernel engine dispatch: the factory must *be* a registered node class
+    # (exact identity, so subclasses never inherit a kernel), the kernel must
+    # support this configuration, and the adversary must not demand to see
+    # per-node message objects the kernel engine never builds.
+    kernel_cls = kernels.kernel_for(factory, config)
+    if engine == "kernel":
+        if kernel_cls is None:
+            raise ValueError(
+                "engine='kernel' requires the protocol factory to be a node "
+                "class with a registered RoundKernel (see "
+                "repro.simulation.kernels.register_kernel)"
+            )
+        if adversary.sees_messages:
+            raise ValueError(
+                "the kernel engine does not build per-node message objects, "
+                "so omniscient (sees_messages) adversaries are not supported; "
+                "use engine='mask'"
+            )
+        if not mask_ready:
+            raise ValueError(
+                "engine='kernel' requires every node to support knowledge-mask "
+                "tracking"
+            )
+    use_kernel = engine == "kernel" or (
+        engine == "auto"
+        and kernel_cls is not None
+        and mask_ready
+        and not adversary.sees_messages
+    )
+    kernel = None
+    if use_kernel:
+        try:
+            kernel = kernel_cls(config, placement, token_index, nodes)
+        except kernels.KernelUnsupported as exc:
+            # Node-level preconditions can only be checked post-construction;
+            # auto falls back to the mask engine, an explicit request fails.
+            if engine == "kernel":
+                raise ValueError(str(exc)) from exc
+    if kernel is not None:
+        topologies = kernels.run_kernel_rounds(
+            kernel,
+            config,
+            adversary,
+            metrics,
+            max_rounds=max_rounds,
+            stop_at_completion=stop_at_completion,
+            record_topologies=record_topologies,
+            track_progress=track_progress,
+        )
+        kernel.to_nodes(nodes)
+        correct = (
+            _check_correctness(nodes, placement)
+            if metrics.completion_round is not None
+            else None
+        )
+        return RunResult(
+            metrics=metrics,
+            nodes=nodes,
+            correct=correct,
+            topologies=topologies,
+            engine="kernel",
+        )
+
     use_mask = mask_ready and engine != "legacy"
     full_mask = (1 << len(token_index)) - 1
     incomplete = set(range(config.n)) if use_mask else set()
     if use_mask:
         incomplete = {uid for uid in incomplete if nodes[uid].knowledge_mask() != full_mask}
 
-    # Single-slot validation cache: static and T-stable adversaries return
-    # the same topology object round after round, so remembering only the
-    # most recent one already gives the once-per-topology (not once-per-
-    # round) validation win without pinning every per-round topology of a
-    # long run.  Only immutable Topology objects are cached by identity —
-    # an adversary may legally mutate and re-return one nx.Graph between
-    # rounds, so nx inputs are re-converted and re-validated every time,
-    # exactly as the legacy engine treats them.
-    last_validated: tuple[Topology, Topology] | None = None
-
-    def _validated_topology(graph) -> Topology:
-        nonlocal last_validated
-        if last_validated is not None and last_validated[0] is graph:
-            return last_validated[1]
-        topology = as_topology(graph, config.n)
-        topology.validate(config.n)
-        if isinstance(graph, Topology):
-            last_validated = (graph, topology)
-        return topology
+    # Single-slot identity-keyed validation cache (shared helper with the
+    # kernel engine): static and T-stable topologies are validated once per
+    # object instead of once per round; mutable nx graphs are re-validated
+    # every time, exactly as the legacy engine treats them.
+    validation_cache = TopologyValidationCache()
 
     def _round_views(graph) -> tuple[Topology | None, nx.Graph | None]:
         """Validate the round graph once, in the active engine's representation."""
         if use_mask:
-            return _validated_topology(graph), None
+            return validation_cache.validated(graph, config.n), None
         # Legacy engine: full networkx validation every round.
         nx_view = graph.to_nx() if isinstance(graph, Topology) else graph
         validate_topology(nx_view, config.n)
@@ -283,10 +354,13 @@ def run_dissemination(
         # Delivery: each node receives its neighbours' messages, in ascending
         # neighbour-uid order on both engines.
         if use_mask:
+            # The neighbour tuples are cached on the Topology object, so a
+            # static or T-stable topology pays the per-bit mask iteration
+            # once per object/block instead of once per round.
             for uid, node in enumerate(nodes):
                 inbox = [
                     message
-                    for message in map(outgoing.__getitem__, topology.neighbors(uid))
+                    for message in map(outgoing.__getitem__, topology.neighbors_tuple(uid))
                     if message is not None
                 ]
                 if inbox:
@@ -298,17 +372,24 @@ def run_dissemination(
                 else:
                     node.deliver(round_index, inbox)
         else:
-            fingerprints = [_legacy_fingerprint(node) for node in nodes]
             for uid, node in enumerate(nodes):
                 inbox = [
                     outgoing[neighbour]
                     for neighbour in sorted(nx_view.neighbors(uid))
                     if outgoing[neighbour] is not None
                 ]
-                node.deliver(round_index, inbox)
-                metrics.deliveries += len(inbox)
-                if inbox and _legacy_fingerprint(node) == fingerprints[uid]:
-                    metrics.useless_deliveries += len(inbox)
+                # The fingerprint (a coded_rank() call) is only needed for
+                # nodes that actually receive messages this round; deliver()
+                # only mutates the receiving node, so taking it lazily right
+                # before the call is equivalent to the old eager pass.
+                if inbox:
+                    before = _legacy_fingerprint(node)
+                    node.deliver(round_index, inbox)
+                    metrics.deliveries += len(inbox)
+                    if _legacy_fingerprint(node) == before:
+                        metrics.useless_deliveries += len(inbox)
+                else:
+                    node.deliver(round_index, inbox)
 
         if coordinator is not None:
             coordinator.after_round(
@@ -348,4 +429,10 @@ def run_dissemination(
     correct: bool | None = None
     if metrics.completion_round is not None:
         correct = _check_correctness(nodes, placement)
-    return RunResult(metrics=metrics, nodes=nodes, correct=correct, topologies=topologies)
+    return RunResult(
+        metrics=metrics,
+        nodes=nodes,
+        correct=correct,
+        topologies=topologies,
+        engine="mask" if use_mask else "legacy",
+    )
