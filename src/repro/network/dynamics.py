@@ -1,0 +1,805 @@
+"""Dynamic-network scenario subsystem: packed-native topology schedules.
+
+The engines (PR 2/3) made round *execution* cheap; what remained expensive —
+and thin — was round *generation*: every in-repo adversary builds one
+topology per round in Python, and the scenario space stopped at hand-written
+shapes (rings, stars, cliques).  This module turns whole topology
+*schedules* into first-class packed data: a :class:`DynamicsProcess` yields
+batches of rounds as ``(rounds, n, ceil(n/64))`` ``uint64`` adjacency
+matrices — the same packed form :meth:`Topology.packed_adjacency` feeds the
+kernel engine — with all per-edge work vectorised in numpy.
+
+Three layers:
+
+* **Processes** generate raw dynamic-graph evolutions studied in the
+  dynamic-network literature: :class:`EdgeMarkovProcess` (independent
+  per-edge birth/death chains, the standard *evolving graph* model),
+  :class:`RandomWaypointProcess` (geometric radio connectivity under
+  random-waypoint mobility, as in ad-hoc/radio-network work),
+  :class:`ChurnProcess` (per-round bounded join/leave with inactive nodes
+  isolated), :class:`DegreeBoundedRewiringProcess` (worst-case-flavoured
+  edge rewiring under a degree cap) and :class:`PrecomputedSchedule`
+  (replay of a recorded schedule).
+* **Transformers** are processes wrapping processes, repairing raw
+  evolutions into model-compliant adversaries: :class:`ConnectivityPatcher`
+  (per-round connectivity, the paper's standing assumption on ``G(t)``)
+  and :class:`TIntervalEnforcer` (sliding-window T-interval connectivity in
+  the sense of Kuhn–Lynch–Oshman, by unioning a cheap spanning structure
+  derived from each window's intersection).
+* :class:`ScheduleAdversary` bridges any process into
+  :func:`~repro.simulation.runner.run_dissemination`: topologies are served
+  from buffered batches as :meth:`Topology.from_packed` views, marked
+  ``pre_validated`` when the process guarantees legality, with a cheap
+  ``reset()`` for sweep reuse.
+
+The named scenario catalog built on top of these pieces lives in
+:mod:`repro.scenarios`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from .adversary import Adversary
+from .topology import Topology
+
+__all__ = [
+    "DynamicsProcess",
+    "EdgeMarkovProcess",
+    "RandomWaypointProcess",
+    "ChurnProcess",
+    "DegreeBoundedRewiringProcess",
+    "PrecomputedSchedule",
+    "ConnectivityPatcher",
+    "TIntervalEnforcer",
+    "ScheduleAdversary",
+    "pack_dense_adjacency",
+    "packed_components",
+    "packed_is_connected",
+    "packed_words",
+    "spanning_structure",
+]
+
+
+# ----------------------------------------------------------------------
+# packed-matrix helpers (shared with the stability checkers)
+# ----------------------------------------------------------------------
+
+
+def packed_words(n: int) -> int:
+    """Words per packed adjacency row (at least one, so shapes stay 2-D)."""
+    return max(1, (n + 63) // 64)
+
+
+def pack_dense_adjacency(dense: np.ndarray) -> np.ndarray:
+    """Pack a boolean adjacency array along its last axis into uint64 words.
+
+    ``(..., n, n)`` bool -> ``(..., n, ceil(n/64))`` uint64, LSB-first within
+    each little-endian word — the exact layout of
+    :meth:`Topology.packed_adjacency` (and of the kernel engine's knowledge
+    matrices), so packed schedules flow into the engines without any
+    re-encoding.
+    """
+    n = dense.shape[-1]
+    words = packed_words(n)
+    as_bytes = np.packbits(dense, axis=-1, bitorder="little")
+    pad = words * 8 - as_bytes.shape[-1]
+    if pad:
+        widths = [(0, 0)] * (as_bytes.ndim - 1) + [(0, pad)]
+        as_bytes = np.pad(as_bytes, widths)
+    return np.ascontiguousarray(as_bytes).view(np.uint64)
+
+
+def _row_masks(packed: np.ndarray, n: int) -> list[int]:
+    """The packed rows as arbitrary-precision Python ints (for mask BFS)."""
+    stride = packed.shape[1] * 8
+    data = np.ascontiguousarray(packed).astype("<u8", copy=False).tobytes()
+    return [
+        int.from_bytes(data[u * stride : (u + 1) * stride], "little") for u in range(n)
+    ]
+
+
+def packed_components(packed: np.ndarray, n: int) -> list[int]:
+    """Connected components of a packed adjacency matrix, as int bitmasks.
+
+    Mask BFS (the word-parallel frontier expansion of
+    :meth:`Topology.is_connected`), one component per unvisited seed;
+    components come back ordered by their lowest member.
+    """
+    masks = _row_masks(packed, n)
+    full = (1 << n) - 1
+    seen = 0
+    components: list[int] = []
+    while seen != full:
+        remaining = ~seen & full
+        reached = remaining & -remaining
+        frontier = reached
+        while frontier:
+            grown = 0
+            m = frontier
+            while m:
+                lsb = m & -m
+                grown |= masks[lsb.bit_length() - 1]
+                m ^= lsb
+            frontier = grown & ~reached
+            reached |= frontier
+        components.append(reached)
+        seen |= reached
+    return components
+
+
+def packed_is_connected(packed: np.ndarray, n: int) -> bool:
+    """Connectivity of a packed adjacency matrix via one mask BFS."""
+    if n <= 1:
+        return True
+    masks = _row_masks(packed, n)
+    full = (1 << n) - 1
+    reached = 1
+    frontier = 1
+    while frontier:
+        grown = 0
+        m = frontier
+        while m:
+            lsb = m & -m
+            grown |= masks[lsb.bit_length() - 1]
+            m ^= lsb
+        frontier = grown & ~reached
+        reached |= frontier
+    return reached == full
+
+
+def _set_edge(packed: np.ndarray, u: int, v: int) -> None:
+    packed[u, v >> 6] |= np.uint64(1) << np.uint64(v & 63)
+    packed[v, u >> 6] |= np.uint64(1) << np.uint64(u & 63)
+
+
+def spanning_structure(packed: np.ndarray, n: int) -> np.ndarray:
+    """A connected spanning structure extending a packed adjacency matrix.
+
+    Returns an ``(n, words)`` packed matrix holding a BFS spanning tree of
+    each connected component of the input *plus* a path over the component
+    representatives (lowest member of each component, ascending) — at most
+    ``n - 1`` tree edges and ``components - 1`` repair edges.  Only the
+    repair edges are new; every tree edge already exists in the input.  This
+    is the cheap structure the :class:`TIntervalEnforcer` unions over a
+    window: repairing via the *intersection's own* BFS forest keeps the
+    enforced schedule as close to the raw process as connectivity allows.
+    """
+    masks = _row_masks(packed, n)
+    out = np.zeros((n, packed_words(n)), dtype=np.uint64)
+    full = (1 << n) - 1
+    seen = 0
+    representatives: list[int] = []
+    while seen != full:
+        remaining = ~seen & full
+        root = (remaining & -remaining).bit_length() - 1
+        representatives.append(root)
+        reached = 1 << root
+        frontier = [root]
+        while frontier:
+            next_frontier: list[int] = []
+            for u in frontier:
+                new = masks[u] & ~reached
+                reached |= new
+                while new:
+                    lsb = new & -new
+                    v = lsb.bit_length() - 1
+                    new ^= lsb
+                    _set_edge(out, u, v)
+                    next_frontier.append(v)
+            frontier = next_frontier
+        seen |= reached
+    for a, b in zip(representatives, representatives[1:]):
+        _set_edge(out, a, b)
+    return out
+
+
+def _pack_active(active: np.ndarray, words: int) -> np.ndarray:
+    """A boolean node vector as one packed row (the column-clear mask)."""
+    as_bytes = np.packbits(active, bitorder="little")
+    row = np.zeros(words * 8, dtype=np.uint8)
+    row[: as_bytes.size] = as_bytes
+    return row.view(np.uint64)
+
+
+# ----------------------------------------------------------------------
+# the process contract
+# ----------------------------------------------------------------------
+
+
+class DynamicsProcess(abc.ABC):
+    """A (possibly infinite) topology schedule generated in packed batches.
+
+    Contract:
+
+    * :meth:`next_batch` returns the next ``rounds`` round topologies as a
+      *fresh, caller-owned* ``(rounds, n, words)`` ``uint64`` array —
+      transformers mutate batches in place, so a process must never hand
+      out views of internal state;
+    * the schedule is a deterministic function of the constructor arguments:
+      :meth:`reset` rewinds to round 0 and replays the identical schedule
+      (this is what makes :class:`ScheduleAdversary.reset` cheap and sweep
+      reuse sound);
+    * rows are symmetric and self-loop free.  *Connectivity is not
+      guaranteed* unless :attr:`guarantees_connected` is True — raw
+      processes model disconnection (that is what churn and radio fading
+      do), and the transformers repair them into model-compliant schedules.
+    """
+
+    #: True when every generated round is connected (and hence a legal
+    #: paper-model topology) *by construction*; the transformers set it.
+    guarantees_connected: bool = False
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"need at least one node, got n={n}")
+        self.n = int(n)
+        self.words = packed_words(self.n)
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Rewind to round 0; the replayed schedule must be identical."""
+
+    @abc.abstractmethod
+    def next_batch(self, rounds: int) -> np.ndarray:
+        """The next ``rounds`` topologies, packed ``(rounds, n, words)``."""
+
+    def rounds_remaining(self) -> int | None:
+        """Rounds left before the schedule is exhausted (None = unbounded).
+
+        Consumers that pull in fixed-size batches (:class:`ScheduleAdversary`)
+        clamp their requests to this, so a finite recorded schedule can drive
+        a shorter run without tripping its own exhaustion error.
+        """
+        return None
+
+    def topologies(self, rounds: int) -> list[Topology]:
+        """Materialise the next ``rounds`` rounds as :class:`Topology` objects.
+
+        Convenience for analysis and tests (the engines consume schedules
+        through :class:`ScheduleAdversary` instead).  Topologies are marked
+        ``pre_validated`` exactly when the process guarantees legality.
+        """
+        batch = self.next_batch(rounds)
+        return [
+            Topology.from_packed(self.n, batch[i], pre_validated=self.guarantees_connected)
+            for i in range(batch.shape[0])
+        ]
+
+    def _empty_batch(self, rounds: int) -> np.ndarray:
+        return np.zeros((rounds, self.n, self.words), dtype=np.uint64)
+
+
+# ----------------------------------------------------------------------
+# raw processes
+# ----------------------------------------------------------------------
+
+
+class EdgeMarkovProcess(DynamicsProcess):
+    """Independent per-edge birth/death chains (the evolving-graph model).
+
+    Every unordered pair ``{u, v}`` runs its own two-state Markov chain:
+    an absent edge appears with probability ``p_birth`` per round, a present
+    edge disappears with probability ``p_death``.  The stationary edge
+    density is ``p_birth / (p_birth + p_death)``; the initial state is drawn
+    iid at that density (override with ``initial_density``), so the schedule
+    starts in stationarity.
+
+    Per round the whole edge set updates as three vectorised operations over
+    the ``n (n - 1) / 2`` pair slots — no per-edge Python.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        p_birth: float = 0.05,
+        p_death: float = 0.25,
+        seed: int = 0,
+        initial_density: float | None = None,
+    ):
+        super().__init__(n)
+        for name, p in (("p_birth", p_birth), ("p_death", p_death)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.p_birth = float(p_birth)
+        self.p_death = float(p_death)
+        if initial_density is None:
+            total = self.p_birth + self.p_death
+            initial_density = self.p_birth / total if total > 0 else 0.0
+        if not 0.0 <= initial_density <= 1.0:
+            raise ValueError(f"initial_density must be in [0, 1], got {initial_density}")
+        self.initial_density = float(initial_density)
+        self.seed = seed
+        self._iu = np.triu_indices(self.n, 1)
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._edges = self._rng.random(self._iu[0].size) < self.initial_density
+
+    def next_batch(self, rounds: int) -> np.ndarray:
+        n = self.n
+        rows, cols = self._iu
+        dense = np.zeros((rounds, n, n), dtype=bool)
+        edges = self._edges
+        for r in range(rounds):
+            draw = self._rng.random(edges.size)
+            edges = np.where(edges, draw >= self.p_death, draw < self.p_birth)
+            dense[r, rows, cols] = edges
+        self._edges = edges
+        dense |= dense.transpose(0, 2, 1)
+        return pack_dense_adjacency(dense)
+
+
+class RandomWaypointProcess(DynamicsProcess):
+    """Geometric radio connectivity under random-waypoint mobility.
+
+    Nodes live in an ``area x area`` square; each picks a uniform waypoint,
+    moves toward it at ``speed`` per round, and draws a fresh waypoint on
+    arrival.  The round topology is the unit-disk graph of the current
+    positions: an edge wherever two nodes are within ``radius``.  Positions,
+    motion and the pairwise-distance adjacency are all whole-array numpy
+    operations.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        radius: float,
+        speed: float = 0.05,
+        seed: int = 0,
+        area: float = 1.0,
+    ):
+        super().__init__(n)
+        if radius <= 0 or speed <= 0 or area <= 0:
+            raise ValueError("radius, speed and area must all be positive")
+        self.radius = float(radius)
+        self.speed = float(speed)
+        self.area = float(area)
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._pos = self._rng.random((self.n, 2)) * self.area
+        self._way = self._rng.random((self.n, 2)) * self.area
+
+    def next_batch(self, rounds: int) -> np.ndarray:
+        n = self.n
+        r2 = self.radius * self.radius
+        dense = np.zeros((rounds, n, n), dtype=bool)
+        pos, way = self._pos, self._way
+        for r in range(rounds):
+            delta = way - pos
+            dist = np.hypot(delta[:, 0], delta[:, 1])
+            arrived = dist <= self.speed
+            step = np.divide(
+                self.speed, dist, out=np.zeros_like(dist), where=dist > 0
+            )
+            pos = np.where(arrived[:, None], way, pos + delta * step[:, None])
+            count = int(arrived.sum())
+            if count:
+                way = way.copy()
+                way[arrived] = self._rng.random((count, 2)) * self.area
+            diff = pos[:, None, :] - pos[None, :, :]
+            adjacency = (diff * diff).sum(axis=-1) <= r2
+            np.fill_diagonal(adjacency, False)
+            dense[r] = adjacency
+        self._pos, self._way = pos, way
+        return pack_dense_adjacency(dense)
+
+
+class ChurnProcess(DynamicsProcess):
+    """Per-round bounded node churn layered over any inner process.
+
+    An activity mask tracks which nodes are currently up; every round at
+    most ``max_churn`` nodes toggle (a uniform count of candidates is drawn,
+    each joining if down and leaving if up), and departures are refused
+    whenever they would drop the live population below ``min_active``.
+    Inactive nodes are *isolated*: their adjacency rows are zeroed and one
+    packed AND clears their columns, so the inner process's edges among live
+    nodes pass through untouched.
+
+    Raw churn schedules are intentionally disconnected (down nodes have no
+    edges); compose with :class:`ConnectivityPatcher` or
+    :class:`TIntervalEnforcer` before feeding an engine.  Note what
+    composition means for the model: the paper requires every round graph to
+    be connected over the *fixed* node set, so a repaired schedule cannot
+    keep a down node literally absent — the transformer re-attaches it
+    through a repair edge, degrading it from its full process neighbourhood
+    to a single lifeline.  The ``max_churn`` bound is therefore a property
+    of the underlying activity process, not of the repaired graphs.  With
+    ``record_activity`` the per-round activity masks are kept in
+    :attr:`activity_history` for analysis and the churn-bound property
+    tests.
+    """
+
+    def __init__(
+        self,
+        inner: DynamicsProcess,
+        max_churn: int = 1,
+        min_active: int = 2,
+        seed: int = 0,
+        record_activity: bool = False,
+    ):
+        super().__init__(inner.n)
+        if max_churn < 0:
+            raise ValueError(f"max_churn must be >= 0, got {max_churn}")
+        if not 1 <= min_active <= inner.n:
+            raise ValueError(f"min_active must be in 1..{inner.n}, got {min_active}")
+        self.inner = inner
+        self.max_churn = int(max_churn)
+        self.min_active = int(min_active)
+        self.seed = seed
+        self.record_activity = bool(record_activity)
+        self.activity_history: list[np.ndarray] = []
+        self.reset()
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._rng = np.random.default_rng(self.seed)
+        self._active = np.ones(self.n, dtype=bool)
+        self.activity_history = []
+
+    def rounds_remaining(self) -> int | None:
+        return self.inner.rounds_remaining()
+
+    def next_batch(self, rounds: int) -> np.ndarray:
+        batch = self.inner.next_batch(rounds)
+        active = self._active
+        for r in range(rounds):
+            # A bound above n is legal (it just never binds): the candidate
+            # draw keeps its distribution, the sample is clamped to the
+            # population.
+            toggles = min(int(self._rng.integers(0, self.max_churn + 1)), self.n)
+            if toggles:
+                for uid in self._rng.choice(self.n, size=toggles, replace=False):
+                    uid = int(uid)
+                    if active[uid]:
+                        if int(active.sum()) > self.min_active:
+                            active[uid] = False
+                    else:
+                        active[uid] = True
+            if self.record_activity:
+                self.activity_history.append(active.copy())
+            batch[r, ~active] = 0
+            batch[r] &= _pack_active(active, self.words)
+        return batch
+
+
+class DegreeBoundedRewiringProcess(DynamicsProcess):
+    """Adversarial-flavoured edge rewiring under a hard degree cap.
+
+    Starts from a ring and, each round, rewires up to ``rewires_per_round``
+    edges: a uniformly random present edge is removed and a uniformly random
+    absent pair whose endpoints both have degree below ``degree_bound`` is
+    inserted (the removal is rolled back if no legal insertion is found, so
+    the edge count is invariant).  The result is a slowly-drifting sparse
+    graph that can disconnect at any time — the degree-bounded worst-case
+    regime the token-forwarding lower bounds live in.  Compose with a
+    transformer for model legality.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        degree_bound: int = 4,
+        rewires_per_round: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__(n)
+        if n < 3:
+            raise ValueError(f"rewiring needs n >= 3, got {n}")
+        if degree_bound < 2:
+            raise ValueError(f"degree_bound must be >= 2 (the ring start), got {degree_bound}")
+        if rewires_per_round < 0:
+            raise ValueError(f"rewires_per_round must be >= 0, got {rewires_per_round}")
+        self.degree_bound = int(degree_bound)
+        self.rewires_per_round = int(rewires_per_round)
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        n = self.n
+        self._edges = [(u, (u + 1) % n) if u + 1 < n else (0, n - 1) for u in range(n)]
+        self._edge_set = {frozenset(e) for e in self._edges}
+        self._degrees = np.full(n, 2, dtype=np.int64)
+
+    def _rewire_once(self) -> None:
+        rng = self._rng
+        edges = self._edges
+        index = int(rng.integers(len(edges)))
+        u, v = edges[index]
+        edges[index] = edges[-1]
+        edges.pop()
+        self._edge_set.remove(frozenset((u, v)))
+        self._degrees[u] -= 1
+        self._degrees[v] -= 1
+        for _ in range(16):
+            x, y = int(rng.integers(self.n)), int(rng.integers(self.n))
+            if (
+                x != y
+                and self._degrees[x] < self.degree_bound
+                and self._degrees[y] < self.degree_bound
+                and frozenset((x, y)) not in self._edge_set
+            ):
+                break
+        else:
+            x, y = u, v  # no legal insertion found: roll the removal back
+        edges.append((x, y))
+        self._edge_set.add(frozenset((x, y)))
+        self._degrees[x] += 1
+        self._degrees[y] += 1
+
+    def next_batch(self, rounds: int) -> np.ndarray:
+        batch = self._empty_batch(rounds)
+        one = np.uint64(1)
+        for r in range(rounds):
+            for _ in range(self.rewires_per_round):
+                self._rewire_once()
+            pairs = np.asarray(self._edges, dtype=np.int64)
+            rows = np.concatenate([pairs[:, 0], pairs[:, 1]])
+            cols = np.concatenate([pairs[:, 1], pairs[:, 0]])
+            np.bitwise_or.at(
+                batch[r], (rows, cols >> 6), one << (cols & np.int64(63)).astype(np.uint64)
+            )
+        return batch
+
+
+class PrecomputedSchedule(DynamicsProcess):
+    """Replay a recorded packed schedule (cycling once it is exhausted).
+
+    ``connected`` certifies every recorded round is a legal connected
+    topology — set it only for schedules that came out of a transformer or
+    validated :class:`Topology` objects.
+    """
+
+    def __init__(self, packed: np.ndarray, *, cycle: bool = True, connected: bool = False):
+        if packed.ndim != 3 or packed.dtype != np.uint64 or packed.shape[0] == 0:
+            raise ValueError(
+                "need a non-empty (rounds, n, words) uint64 schedule, got "
+                f"{packed.shape} {packed.dtype}"
+            )
+        n = packed.shape[1]
+        super().__init__(n)
+        if packed.shape[2] != self.words:
+            raise ValueError(
+                f"packed schedule rows must be {self.words} words wide, got {packed.shape[2]}"
+            )
+        self._schedule = np.ascontiguousarray(packed).copy()
+        self._cycle = bool(cycle)
+        self.guarantees_connected = bool(connected)
+        self.reset()
+
+    @classmethod
+    def from_topologies(
+        cls, topologies: Sequence[Topology], *, cycle: bool = True
+    ) -> "PrecomputedSchedule":
+        """Build a replayable schedule from recorded :class:`Topology` objects
+        (e.g. a ``RunResult.topologies`` trace), validating each round."""
+        if not topologies:
+            raise ValueError("need at least one topology")
+        n = topologies[0].n
+        for topology in topologies:
+            topology.validate(n)
+        packed = np.stack([t.packed_adjacency() for t in topologies])
+        return cls(packed, cycle=cycle, connected=True)
+
+    def reset(self) -> None:
+        self._position = 0
+
+    def rounds_remaining(self) -> int | None:
+        if self._cycle:
+            return None
+        return max(0, self._schedule.shape[0] - self._position)
+
+    def next_batch(self, rounds: int) -> np.ndarray:
+        total = self._schedule.shape[0]
+        if not self._cycle and self._position + rounds > total:
+            raise ValueError(
+                f"non-cycling schedule of {total} rounds exhausted at round "
+                f"{self._position} (requested {rounds} more)"
+            )
+        indices = (self._position + np.arange(rounds)) % total
+        self._position += rounds
+        return self._schedule[indices].copy()
+
+
+# ----------------------------------------------------------------------
+# transformers: raw process -> model-compliant adversary schedule
+# ----------------------------------------------------------------------
+
+
+class ConnectivityPatcher(DynamicsProcess):
+    """Per-round connectivity repair (the paper's standing model assumption).
+
+    Every round that comes out disconnected gets a path over its component
+    representatives (lowest member of each component, ascending) — the
+    minimum number of edges that restores connectivity, deterministic in
+    the round graph.  Rounds that are already connected pass through
+    bit-identical.
+    """
+
+    guarantees_connected = True
+
+    def __init__(self, inner: DynamicsProcess):
+        super().__init__(inner.n)
+        self.inner = inner
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def rounds_remaining(self) -> int | None:
+        return self.inner.rounds_remaining()
+
+    def next_batch(self, rounds: int) -> np.ndarray:
+        batch = self.inner.next_batch(rounds)
+        for r in range(rounds):
+            components = packed_components(batch[r], self.n)
+            if len(components) > 1:
+                representatives = [
+                    (component & -component).bit_length() - 1 for component in components
+                ]
+                for a, b in zip(representatives, representatives[1:]):
+                    _set_edge(batch[r], a, b)
+        return batch
+
+
+class TIntervalEnforcer(DynamicsProcess):
+    """Enforce sliding-window T-interval connectivity on any raw process.
+
+    The inner schedule is consumed in aligned blocks of ``interval`` rounds.
+    For block ``b`` the enforcer intersects the block's rounds, derives a
+    cheap connected spanning structure ``S_b`` from that intersection
+    (:func:`spanning_structure`: the intersection's own BFS forest plus a
+    path over component representatives), and unions ``S_b`` into every
+    round of blocks ``b`` *and* ``b + 1``.
+
+    Guarantee: any window of ``interval`` consecutive rounds starts in some
+    block ``b`` and ends no later than block ``b + 1``, so the connected
+    spanning graph ``S_b`` is present in *every* round of the window — the
+    Kuhn–Lynch–Oshman T-interval-connectivity property for all sliding
+    windows, not just aligned ones.  Each emitted round contains the
+    current block's ``S_b``, so per-round connectivity (and hence engine
+    legality) comes for free.
+    """
+
+    guarantees_connected = True
+
+    def __init__(self, inner: DynamicsProcess, interval: int):
+        super().__init__(inner.n)
+        if interval < 1:
+            raise ValueError(f"interval T must be >= 1, got {interval}")
+        self.inner = inner
+        self.interval = int(interval)
+        self.reset()
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._previous_structure: np.ndarray | None = None
+        self._block: np.ndarray | None = None
+        self._offset = 0
+
+    def rounds_remaining(self) -> int | None:
+        inner = self.inner.rounds_remaining()
+        if inner is None:
+            return None
+        buffered = 0 if self._block is None else self._block.shape[0] - self._offset
+        return buffered + (inner // self.interval) * self.interval
+
+    def _next_block(self) -> np.ndarray:
+        block = self.inner.next_batch(self.interval)
+        intersection = np.bitwise_and.reduce(block, axis=0)
+        structure = spanning_structure(intersection, self.n)
+        block |= structure
+        if self._previous_structure is not None:
+            block |= self._previous_structure
+        self._previous_structure = structure
+        return block
+
+    def next_batch(self, rounds: int) -> np.ndarray:
+        out = self._empty_batch(rounds)
+        filled = 0
+        while filled < rounds:
+            if self._block is None or self._offset == self._block.shape[0]:
+                self._block = self._next_block()
+                self._offset = 0
+            take = min(rounds - filled, self._block.shape[0] - self._offset)
+            out[filled : filled + take] = self._block[self._offset : self._offset + take]
+            self._offset += take
+            filled += take
+        return out
+
+
+# ----------------------------------------------------------------------
+# the bridge into the engines
+# ----------------------------------------------------------------------
+
+
+class ScheduleAdversary(Adversary):
+    """Serve a :class:`DynamicsProcess` schedule to ``run_dissemination``.
+
+    Topologies are pulled from the process in buffered batches
+    (``batch_rounds`` at a time, amortising the vectorised generation) and
+    handed to the engine as :meth:`Topology.from_packed` objects —
+    ``pre_validated`` whenever the process guarantees connectivity, so a
+    transformed schedule pays zero per-round validation, while a raw
+    process's rounds are validated (and rejected if disconnected) exactly
+    like any hand-written adversary's.
+
+    ``reset()`` rewinds the process and the buffer, so one adversary object
+    is cheaply reusable across sweep repetitions.  The round index must not
+    go backwards between resets; skipping forward is allowed (that is how a
+    :class:`~repro.network.adversary.TStableAdversary` wrapper, which only
+    asks at block starts, consumes a schedule).
+
+    Accepts a process, a recorded ``(rounds, n, words)`` packed array, or a
+    sequence of :class:`Topology` objects (the latter two wrapped in a
+    cycling :class:`PrecomputedSchedule`).
+    """
+
+    def __init__(
+        self,
+        schedule: DynamicsProcess | np.ndarray | Sequence[Topology],
+        *,
+        batch_rounds: int = 64,
+    ):
+        if batch_rounds < 1:
+            raise ValueError(f"batch_rounds must be >= 1, got {batch_rounds}")
+        if isinstance(schedule, DynamicsProcess):
+            process = schedule
+        elif isinstance(schedule, np.ndarray):
+            process = PrecomputedSchedule(schedule)
+        else:
+            process = PrecomputedSchedule.from_topologies(list(schedule))
+        self.process = process
+        self._batch_rounds = int(batch_rounds)
+        self._batch: np.ndarray | None = None
+        self._offset = 0
+        self._served = 0
+        self._last: Topology | None = None
+
+    def reset(self) -> None:
+        self.process.reset()
+        self._batch = None
+        self._offset = 0
+        self._served = 0
+        self._last = None
+
+    def _next_topology(self) -> Topology:
+        if self._batch is None or self._offset == self._batch.shape[0]:
+            pull = self._batch_rounds
+            remaining = self.process.rounds_remaining()
+            if remaining is not None:
+                # Clamp to what a finite schedule still holds, so a short
+                # non-cycling recording can drive an even shorter run; a
+                # request past true exhaustion (pull stays >= 1) surfaces the
+                # process's own descriptive error.
+                pull = max(1, min(pull, remaining))
+            self._batch = self.process.next_batch(pull)
+            self._offset = 0
+        packed = self._batch[self._offset]
+        self._offset += 1
+        return Topology.from_packed(
+            self.process.n, packed, pre_validated=self.process.guarantees_connected
+        )
+
+    def choose_topology(self, round_index, n, states, messages=None) -> Topology:
+        if n != self.process.n:
+            raise ValueError(
+                f"schedule generates n={self.process.n} topologies, run has n={n}"
+            )
+        if round_index < self._served - 1:
+            raise ValueError(
+                f"schedule already served round {self._served - 1}; rewinding to "
+                f"round {round_index} requires reset()"
+            )
+        while self._served <= round_index:
+            self._last = self._next_topology()
+            self._served += 1
+        assert self._last is not None
+        return self._last

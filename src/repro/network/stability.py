@@ -1,4 +1,4 @@
-"""Stability measures for dynamic graph sequences.
+"""Stability measures for dynamic graph sequences (packed-native).
 
 The paper works with two related notions:
 
@@ -9,12 +9,23 @@ The paper works with two related notions:
   consecutive rounds there exists a connected spanning subgraph whose edges
   are present in *all* rounds of the window.
 
-This module provides checkers for both, plus a measurement helper that
-reports the largest ``T`` for which a recorded topology sequence satisfies
-each property.  The checkers are used by property tests to confirm that the
-:class:`~repro.network.adversary.TStableAdversary` wrapper really produces
-T-stable sequences, and by the experiment harness to sanity-check recorded
-runs.
+This module provides checkers for both, plus measurement helpers reporting
+the largest ``T`` for which a recorded topology sequence satisfies each
+property.  They confirm that :class:`~repro.network.adversary.TStableAdversary`
+really produces T-stable sequences, that the
+:class:`~repro.network.dynamics.TIntervalEnforcer` really produces
+T-interval-connected schedules, and they let the experiment harness
+sanity-check recorded runs.
+
+Representation: every checker coerces its inputs through
+:func:`~repro.network.topology.as_topology` and then works on the stacked
+``(rounds, n, ceil(n/64))`` packed ``uint64`` adjacency matrices — block
+equality is one array comparison, a window intersection is one
+``np.bitwise_and.reduce``, and connectivity is a word-parallel mask BFS —
+instead of materialising a frozenset of edge pairs per round.  Inputs may
+mix ``networkx`` graphs (on node set ``0..n-1``) and mask-native
+:class:`~repro.network.topology.Topology` objects, exactly as the engines
+record them.
 """
 
 from __future__ import annotations
@@ -22,12 +33,15 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 import networkx as nx
+import numpy as np
 
-from .topology import Topology
+from .dynamics import packed_is_connected
+from .topology import Topology, as_topology
 
 #: The checkers accept any mix of ``networkx`` graphs and mask-native
 #: :class:`~repro.network.topology.Topology` objects (the representation the
-#: runner records on its fast path) — they only read ``.edges`` / ``.nodes``.
+#: runner records on its fast paths); ``networkx`` inputs must live on node
+#: set ``0..n-1`` (what every in-repo generator produces).
 GraphLike = Union[nx.Graph, Topology]
 
 __all__ = [
@@ -39,8 +53,16 @@ __all__ = [
 ]
 
 
-def _edge_set(graph: GraphLike) -> frozenset:
-    return frozenset(frozenset(edge) for edge in graph.edges)
+def _packed_stack(topologies: Sequence[GraphLike]) -> tuple[int, np.ndarray]:
+    """Coerce a sequence to one ``(rounds, n, words)`` packed uint64 stack."""
+    coerced = [as_topology(graph) for graph in topologies]
+    n = coerced[0].n
+    for topology in coerced[1:]:
+        if topology.n != n:
+            raise ValueError(
+                f"mixed node counts in topology sequence: {topology.n} != {n}"
+            )
+    return n, np.stack([topology.packed_adjacency() for topology in coerced])
 
 
 def is_t_stable(topologies: Sequence[GraphLike], stability: int) -> bool:
@@ -51,28 +73,36 @@ def is_t_stable(topologies: Sequence[GraphLike], stability: int) -> bool:
     """
     if stability < 1:
         raise ValueError(f"stability must be >= 1, got {stability}")
-    for block_start in range(0, len(topologies), stability):
-        block = topologies[block_start : block_start + stability]
-        if not block:
-            continue
-        reference = _edge_set(block[0])
-        if any(_edge_set(g) != reference for g in block[1:]):
+    if not topologies:
+        return True
+    _, stack = _packed_stack(topologies)
+    return _stack_is_t_stable(stack, stability)
+
+
+def _stack_is_t_stable(stack: np.ndarray, stability: int) -> bool:
+    for block_start in range(0, stack.shape[0], stability):
+        block = stack[block_start : block_start + stability]
+        if (block != block[0]).any():
             return False
     return True
 
 
-def stable_intersection(topologies: Sequence[GraphLike]) -> nx.Graph:
-    """The graph of edges present in *every* topology of the sequence."""
+def stable_intersection(topologies: Sequence[GraphLike]) -> Topology:
+    """The graph of edges present in *every* topology of the sequence.
+
+    Returns a mask-native :class:`~repro.network.topology.Topology` (one
+    ``np.bitwise_and.reduce`` over the packed stack — the n-ary twin of
+    :meth:`Topology.intersection`).  It duck-types the ``networkx`` read
+    surface (``edges``/``nodes``/``neighbors``/...) and converts via
+    ``to_nx()`` where a real ``networkx.Graph`` is needed.  The result is
+    frequently disconnected — that is the quantity T-interval connectivity
+    asks about — so probe it with :meth:`Topology.is_connected`, not
+    ``validate``.
+    """
     if not topologies:
         raise ValueError("need at least one topology")
-    nodes = list(topologies[0].nodes)
-    common = _edge_set(topologies[0])
-    for graph in topologies[1:]:
-        common &= _edge_set(graph)
-    out = nx.Graph()
-    out.add_nodes_from(nodes)
-    out.add_edges_from(tuple(edge) for edge in common)
-    return out
+    n, stack = _packed_stack(topologies)
+    return Topology.from_packed(n, np.bitwise_and.reduce(stack, axis=0))
 
 
 def is_t_interval_connected(topologies: Sequence[GraphLike], interval: int) -> bool:
@@ -81,11 +111,16 @@ def is_t_interval_connected(topologies: Sequence[GraphLike], interval: int) -> b
         raise ValueError(f"interval must be >= 1, got {interval}")
     if not topologies:
         return True
-    n = topologies[0].number_of_nodes()
-    for start in range(0, len(topologies) - interval + 1):
-        window = topologies[start : start + interval]
-        intersection = stable_intersection(window)
-        if n > 1 and not nx.is_connected(intersection):
+    n, stack = _packed_stack(topologies)
+    return _stack_is_interval_connected(stack, n, interval)
+
+
+def _stack_is_interval_connected(stack: np.ndarray, n: int, interval: int) -> bool:
+    if n <= 1:
+        return True
+    for start in range(0, stack.shape[0] - interval + 1):
+        window = np.bitwise_and.reduce(stack[start : start + interval], axis=0)
+        if not packed_is_connected(window, n):
             return False
     return True
 
@@ -94,9 +129,10 @@ def max_stability(topologies: Sequence[GraphLike]) -> int:
     """Largest ``T`` such that the sequence is T-stable (aligned blocks)."""
     if not topologies:
         return 0
+    _, stack = _packed_stack(topologies)
     best = 1
-    for candidate in range(2, len(topologies) + 1):
-        if is_t_stable(topologies, candidate):
+    for candidate in range(2, stack.shape[0] + 1):
+        if _stack_is_t_stable(stack, candidate):
             best = candidate
     return best
 
@@ -105,9 +141,10 @@ def max_interval_connectivity(topologies: Sequence[GraphLike]) -> int:
     """Largest ``T`` such that the sequence is T-interval connected."""
     if not topologies:
         return 0
+    n, stack = _packed_stack(topologies)
     best = 0
-    for candidate in range(1, len(topologies) + 1):
-        if is_t_interval_connected(topologies, candidate):
+    for candidate in range(1, stack.shape[0] + 1):
+        if _stack_is_interval_connected(stack, n, candidate):
             best = candidate
         else:
             break

@@ -1,0 +1,37 @@
+"""Declarative scenario catalog for dynamic-network experiments.
+
+A *scenario* names a complete adversary recipe — a raw dynamics process
+(:mod:`repro.network.dynamics`) composed with the transformers that make it
+a model-compliant adversary — so sweeps, benchmarks and examples can select
+dynamic-network workloads by name, the way ``factory_for`` /
+``adversary_for`` select protocols and hand-written adversaries in
+``benchmarks/common.py``::
+
+    from repro.scenarios import make_scenario, scenario_for
+
+    adversary = make_scenario("edge_markov_t4", n=256, seed=7)
+    factory = scenario_for("edge_markov_t4", n=256, seed=7)  # picklable
+
+:func:`scenario_for` returns a zero-argument *factory* built from
+module-level callables, so it pickles into sweep worker processes.  The
+catalog lives in :mod:`repro.scenarios.catalog`; register custom scenarios
+with :func:`register_scenario`.
+"""
+
+from .catalog import (
+    SCENARIOS,
+    Scenario,
+    list_scenarios,
+    make_scenario,
+    register_scenario,
+    scenario_for,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "list_scenarios",
+    "make_scenario",
+    "register_scenario",
+    "scenario_for",
+]

@@ -1,0 +1,262 @@
+"""The scenario registry and the in-repo catalog entries.
+
+Every entry composes a raw :class:`~repro.network.dynamics.DynamicsProcess`
+with the transformer that provides its model guarantee and bridges the
+result through :class:`~repro.network.dynamics.ScheduleAdversary`.  All
+catalog scenarios are adaptive-adversary-free and non-omniscient, so they
+are eligible for every execution engine including ``engine="kernel"``.
+
+Scenario builders take ``(n, seed)`` and derive their process parameters
+from ``n`` (target degrees, radio range, churn counts), so one scenario
+name means the same *qualitative* workload at every network size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable
+
+from ..network.adversary import Adversary, TStableAdversary
+from ..network.dynamics import (
+    ChurnProcess,
+    ConnectivityPatcher,
+    DegreeBoundedRewiringProcess,
+    EdgeMarkovProcess,
+    RandomWaypointProcess,
+    ScheduleAdversary,
+    TIntervalEnforcer,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "list_scenarios",
+    "make_scenario",
+    "register_scenario",
+    "scenario_for",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named dynamic-network workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``scenario_for`` / ``make_scenario`` look it up).
+    description:
+        One line for catalogs and benchmark tables.
+    build:
+        ``(n, seed) -> Adversary``; must be a module-level callable (or a
+        ``partial`` of one) so scenario factories pickle into sweep workers.
+    process:
+        The raw dynamics family ("edge-markov", "waypoint", "churn",
+        "rewiring").
+    guarantees:
+        Human-readable model guarantees, e.g. ``("connected",)`` or
+        ``("connected", "4-interval-connected")``.  Every catalog entry is
+        at least per-round connected (the paper's standing assumption).
+    kernel_ok:
+        False only for scenarios that demand per-node message objects
+        (omniscient adversaries) — those cannot run on the kernel engine.
+    """
+
+    name: str
+    description: str
+    build: Callable[[int, int], Adversary]
+    process: str
+    guarantees: tuple[str, ...]
+    kernel_ok: bool = True
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (rejecting duplicate names)."""
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def list_scenarios() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def make_scenario(name: str, n: int, seed: int = 0) -> Adversary:
+    """Build a fresh adversary for a named scenario at network size ``n``."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {list_scenarios()}"
+        ) from exc
+    return scenario.build(n, seed)
+
+
+def scenario_for(name: str, n: int, seed: int = 0) -> Callable[[], Adversary]:
+    """A picklable zero-argument adversary factory for a named scenario.
+
+    The sweep-harness twin of ``adversary_for`` in ``benchmarks/common.py``:
+    the returned ``partial`` references only module-level callables, so it
+    ships into ``ProcessPoolExecutor`` workers, and every call builds an
+    independent adversary (sweep repetitions never share process state).
+    """
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; choose from {list_scenarios()}")
+    return partial(make_scenario, name, n, seed)
+
+
+# ----------------------------------------------------------------------
+# parameter derivations (qualitative workload invariant in n)
+# ----------------------------------------------------------------------
+
+
+def _edge_markov_process(n: int, seed: int, target_degree: float = 4.0) -> EdgeMarkovProcess:
+    """Birth/death rates whose stationary density gives ~``target_degree``."""
+    density = min(0.5, target_degree / max(1, n - 1))
+    p_death = 0.25
+    p_birth = p_death * density / (1.0 - density)
+    return EdgeMarkovProcess(n, p_birth=p_birth, p_death=p_death, seed=seed)
+
+
+def _waypoint_process(n: int, seed: int, target_degree: float = 8.0) -> RandomWaypointProcess:
+    """Radio radius sized for ~``target_degree`` neighbours in the unit square."""
+    radius = min(0.5, math.sqrt(target_degree / (math.pi * max(2, n - 1))))
+    return RandomWaypointProcess(n, radius=radius, speed=0.05, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# catalog builders (module-level: scenario factories must pickle)
+# ----------------------------------------------------------------------
+
+
+def _build_edge_markov(n: int, seed: int) -> Adversary:
+    return ScheduleAdversary(ConnectivityPatcher(_edge_markov_process(n, seed)))
+
+
+def _build_edge_markov_t4(n: int, seed: int) -> Adversary:
+    return ScheduleAdversary(TIntervalEnforcer(_edge_markov_process(n, seed), 4))
+
+
+def _build_edge_markov_stable4(n: int, seed: int) -> Adversary:
+    return TStableAdversary(
+        ScheduleAdversary(ConnectivityPatcher(_edge_markov_process(n, seed))), 4
+    )
+
+
+def _build_waypoint_radio(n: int, seed: int) -> Adversary:
+    return ScheduleAdversary(ConnectivityPatcher(_waypoint_process(n, seed)))
+
+
+def _build_waypoint_churn_t4(n: int, seed: int) -> Adversary:
+    churned = ChurnProcess(
+        _waypoint_process(n, seed), max_churn=2, min_active=max(2, n // 4), seed=seed + 101
+    )
+    return ScheduleAdversary(TIntervalEnforcer(churned, 4))
+
+
+def _build_churn_markov(n: int, seed: int) -> Adversary:
+    churned = ChurnProcess(
+        _edge_markov_process(n, seed), max_churn=2, min_active=max(2, n // 4), seed=seed + 101
+    )
+    return ScheduleAdversary(ConnectivityPatcher(churned))
+
+
+def _build_rewiring_degree4(n: int, seed: int) -> Adversary:
+    process = DegreeBoundedRewiringProcess(
+        n, degree_bound=4, rewires_per_round=max(1, n // 16), seed=seed
+    )
+    return ScheduleAdversary(ConnectivityPatcher(process))
+
+
+def _build_rewiring_t8(n: int, seed: int) -> Adversary:
+    process = DegreeBoundedRewiringProcess(
+        n, degree_bound=4, rewires_per_round=max(1, n // 32), seed=seed
+    )
+    return ScheduleAdversary(TIntervalEnforcer(process, 8))
+
+
+register_scenario(
+    Scenario(
+        name="edge_markov",
+        description="evolving graph: per-edge birth/death chains at ~degree-4 density",
+        build=_build_edge_markov,
+        process="edge-markov",
+        guarantees=("connected",),
+    )
+)
+register_scenario(
+    Scenario(
+        name="edge_markov_t4",
+        description="edge-Markov evolution repaired to 4-interval connectivity",
+        build=_build_edge_markov_t4,
+        process="edge-markov",
+        guarantees=("connected", "4-interval-connected"),
+    )
+)
+register_scenario(
+    Scenario(
+        name="edge_markov_stable4",
+        description="edge-Markov evolution frozen into T=4 stability blocks",
+        build=_build_edge_markov_stable4,
+        process="edge-markov",
+        guarantees=("connected", "4-stable"),
+    )
+)
+register_scenario(
+    Scenario(
+        name="waypoint_radio",
+        description="random-waypoint mobility, unit-disk radio at ~degree-8 range",
+        build=_build_waypoint_radio,
+        process="waypoint",
+        guarantees=("connected",),
+    )
+)
+register_scenario(
+    Scenario(
+        name="waypoint_churn_t4",
+        description=(
+            "mobile radio network with <=2 joins/leaves per round (down nodes keep "
+            "one lifeline edge), 4-interval repaired"
+        ),
+        build=_build_waypoint_churn_t4,
+        process="churn",
+        guarantees=("connected", "4-interval-connected", "churn<=2/round raw"),
+    )
+)
+register_scenario(
+    Scenario(
+        name="churn_markov",
+        description=(
+            "edge-Markov evolution under <=2 joins/leaves per round (down nodes keep "
+            "one lifeline edge)"
+        ),
+        build=_build_churn_markov,
+        process="churn",
+        guarantees=("connected", "churn<=2/round raw"),
+    )
+)
+register_scenario(
+    Scenario(
+        name="rewiring_degree4",
+        description="degree-<=4 sparse graph, adversarially rewired every round",
+        build=_build_rewiring_degree4,
+        process="rewiring",
+        guarantees=("connected", "degree<=4 raw"),
+    )
+)
+register_scenario(
+    Scenario(
+        name="rewiring_t8",
+        description="slow degree-bounded rewiring repaired to 8-interval connectivity",
+        build=_build_rewiring_t8,
+        process="rewiring",
+        guarantees=("connected", "8-interval-connected", "degree<=4 raw"),
+    )
+)
