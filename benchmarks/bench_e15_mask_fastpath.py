@@ -24,7 +24,7 @@ from repro.coding.rlnc import GenerationState
 from repro.network import BottleneckAdversary
 from repro.simulation import run_dissemination, standard_instance
 
-from common import make_config
+from common import make_config, record_headline
 
 BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_MASK_FASTPATH.json"
 
@@ -78,5 +78,6 @@ def test_e15_mask_fastpath_speedup(benchmark, monkeypatch):
         f"{baseline['speedup']:.1f}x, acceptance threshold "
         f"{baseline['acceptance_threshold']:.0f}x)"
     )
+    record_headline("e15_mask_fastpath_vs_array", round(speedup, 2))
     assert speedup >= 1.5
     benchmark.pedantic(_one_run, rounds=1, iterations=1)

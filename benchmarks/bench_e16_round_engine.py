@@ -31,7 +31,7 @@ from repro.algorithms import TokenForwardingNode
 from repro.network import ShiftedRingAdversary
 from repro.simulation import run_dissemination, standard_instance
 
-from common import make_config
+from common import make_config, record_headline
 
 BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_ROUND_ENGINE.json"
 
@@ -84,5 +84,6 @@ def test_e16_round_engine_speedup(benchmark):
         f"engine-isolated, {baseline['speedup_vs_pre_pr']:.1f}x vs pre-PR commit, "
         f"acceptance threshold {baseline['acceptance_threshold']:.0f}x)"
     )
+    record_headline("e16_mask_vs_legacy_engine", round(speedup, 2))
     assert speedup >= 1.4
     benchmark.pedantic(lambda: _one_run("mask"), rounds=1, iterations=1)

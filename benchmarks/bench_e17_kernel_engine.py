@@ -33,7 +33,7 @@ from repro.algorithms import TokenForwardingNode
 from repro.network import ShiftedRingAdversary
 from repro.simulation import run_dissemination, standard_instance
 
-from common import make_config
+from common import make_config, record_headline
 
 BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_KERNEL_ENGINE.json"
 
@@ -89,6 +89,7 @@ def test_e17_kernel_engine_speedup(benchmark):
         f"{baseline['speedup_vs_mask_engine']:.1f}x, acceptance threshold "
         f"{baseline['acceptance_threshold']:.0f}x)"
     )
+    record_headline("e17_kernel_vs_mask_engine", round(speedup, 2))
     assert speedup >= 2.0
     benchmark.pedantic(lambda: _one_run("kernel"), rounds=1, iterations=1)
 

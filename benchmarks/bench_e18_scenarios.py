@@ -37,7 +37,7 @@ from repro.network import RandomConnectedAdversary
 from repro.scenarios import SCENARIOS, list_scenarios, make_scenario, scenario_for
 from repro.simulation import run_dissemination, standard_instance
 
-from common import make_config, print_rows
+from common import make_config, print_rows, record_headline
 
 BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_SCENARIOS.json"
 
@@ -117,6 +117,15 @@ def _generation_row() -> dict:
     }
 
 
+def _recorded_headline_value(fallback: float) -> float:
+    """The previously recorded headline reference, or ``fallback`` if none."""
+    try:
+        recorded = json.loads(BASELINE_FILE.read_text())["headline"]["value"]
+        return float(recorded)
+    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return fallback
+
+
 def _write_baseline(catalog: list[dict], generation: dict) -> None:
     BASELINE_FILE.write_text(
         json.dumps(
@@ -129,6 +138,22 @@ def _write_baseline(catalog: list[dict], generation: dict) -> None:
                 ),
                 "catalog": catalog,
                 "generation": generation,
+                "headline": {
+                    "name": "e18_schedule_generation_vs_python",
+                    # Sticky reference: keep the previously recorded value so
+                    # check_regression.py compares the live figure against a
+                    # real baseline instead of the number this very run just
+                    # measured.
+                    "value": _recorded_headline_value(
+                        generation["speedup_vs_random_connected"]
+                    ),
+                    "larger_is_better": True,
+                    "note": (
+                        "recorded schedule-generation ratio (sticky across "
+                        "bench reruns); benchmarks/check_regression.py fails "
+                        "a run more than 25% below this"
+                    ),
+                },
             },
             indent=1,
             sort_keys=True,
@@ -153,6 +178,10 @@ def test_e18_schedule_generation_beats_python_baseline(benchmark):
         f"per-round Python baseline over {GENERATION_ROUNDS} rounds: "
         f"{generation['speedup_vs_random_connected']:.1f}x "
         f"(acceptance threshold {generation['acceptance_threshold']:.0f}x)"
+    )
+    record_headline(
+        "e18_schedule_generation_vs_python",
+        generation["speedup_vs_random_connected"],
     )
     assert generation["speedup_vs_random_connected"] > 1.0
     schedule = make_scenario("edge_markov_t4", N_GENERATION, seed=1)

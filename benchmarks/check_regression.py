@@ -1,0 +1,115 @@
+"""Fail CI when a headline benchmark regresses > 25 % against its baseline.
+
+Each headline bench records its live machine-normalised figure (an
+engine-vs-engine speedup ratio, never absolute seconds) via
+``benchmarks/common.py:record_headline`` when it runs; the corresponding
+``BENCH_*.json`` at the repo root carries the recorded reference under a
+``"headline"`` key.  This script compares every live figure against its
+reference and exits non-zero if any is more than ``TOLERANCE`` below it
+(for smaller-is-better headlines: above it).
+
+Run after the bench smoke suite::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+Headlines without a live measurement are reported and skipped, so partial
+bench runs never fail spuriously; ratios are used precisely because they
+are comparable across machines, unlike wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+HEADLINE_DIR = ROOT / ".benchmarks" / "headlines"
+
+#: A headline may fall this far (fractionally) below its recorded value
+#: before the run is declared a regression.
+TOLERANCE = 0.25
+
+
+def _recorded_headlines() -> dict[str, dict]:
+    headlines: dict[str, dict] = {}
+    for path in sorted(ROOT.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        headline = data.get("headline")
+        if isinstance(headline, dict) and "name" in headline and "value" in headline:
+            headlines[str(headline["name"])] = {
+                "value": float(headline["value"]),
+                "larger_is_better": bool(headline.get("larger_is_better", True)),
+                "source": path.name,
+            }
+    return headlines
+
+
+def _live_headlines() -> dict[str, float]:
+    import common  # benchmarks/ sibling; resolvable when run as a script
+
+    current_digest = common._source_digest()
+    live: dict[str, float] = {}
+    if not HEADLINE_DIR.is_dir():
+        return live
+    for path in sorted(HEADLINE_DIR.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+            if data.get("source_digest") != current_digest:
+                # Measured on a different version of the source tree — a
+                # stale figure must neither pass nor fail today's code.
+                print(f"  skip {data.get('name', path.stem)}: stale measurement")
+                continue
+            live[str(data["name"])] = float(data["value"])
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            continue
+    return live
+
+
+def check(tolerance: float = TOLERANCE) -> list[str]:
+    """Return a list of regression messages (empty = all headlines healthy)."""
+    recorded = _recorded_headlines()
+    live = _live_headlines()
+    failures: list[str] = []
+    for name, reference in sorted(recorded.items()):
+        measured = live.get(name)
+        if measured is None:
+            print(f"  skip {name}: no live measurement (bench not run)")
+            continue
+        value = reference["value"]
+        if reference["larger_is_better"]:
+            floor = value * (1.0 - tolerance)
+            ok = measured >= floor
+            bound = f">= {floor:.2f}"
+        else:
+            ceiling = value * (1.0 + tolerance)
+            ok = measured <= ceiling
+            bound = f"<= {ceiling:.2f}"
+        status = "ok  " if ok else "FAIL"
+        print(
+            f"  {status} {name}: live {measured:.2f} vs recorded {value:.2f} "
+            f"({reference['source']}, needs {bound})"
+        )
+        if not ok:
+            failures.append(
+                f"{name} regressed: live {measured:.2f} vs recorded {value:.2f} "
+                f"in {reference['source']} (tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main() -> int:
+    print("headline regression check:")
+    failures = check()
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print("no headline regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

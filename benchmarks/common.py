@@ -42,6 +42,7 @@ from repro.tokens import MessageBudget
 
 __all__ = [
     "make_config",
+    "record_headline",
     "run_once",
     "measure_rounds",
     "measure_sweep",
@@ -95,6 +96,40 @@ def _source_digest() -> str:
                 digest.update(path.read_bytes())
         _SOURCE_DIGEST = digest.hexdigest()[:12]
     return _SOURCE_DIGEST
+
+
+#: Where bench runs drop their live headline measurements for
+#: ``benchmarks/check_regression.py`` (safe to delete at any time).
+HEADLINE_DIR = Path(__file__).resolve().parent.parent / ".benchmarks" / "headlines"
+
+
+def record_headline(name: str, value: float, *, larger_is_better: bool = True) -> None:
+    """Record a live headline metric of one benchmark run.
+
+    Each headline bench calls this with its machine-normalised figure
+    (engine-vs-engine speedup ratios, not absolute seconds) after measuring
+    it; ``benchmarks/check_regression.py`` then compares every live figure
+    against the value recorded in the corresponding ``BENCH_*.json`` and
+    fails the run on a > 25 % regression.
+    """
+    HEADLINE_DIR.mkdir(parents=True, exist_ok=True)
+    path = HEADLINE_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": name,
+                "value": value,
+                "larger_is_better": larger_is_better,
+                # Stamp the measurement with the source-tree content so the
+                # regression check never compares figures measured on a
+                # different version of the code (same rule as the sweep
+                # cache keying).
+                "source_digest": _source_digest(),
+            },
+            indent=1,
+            sort_keys=True,
+        )
+    )
 
 
 def sweep_workers(default: int = 4) -> int:

@@ -71,6 +71,11 @@ class IndexedBroadcastNode(ProtocolNode):
             "deterministic_schedule"
         )
         self._decoded = False
+        #: True while the span may have grown since the last decode attempt.
+        #: ``can_decode`` can only flip when an insert is innovative, so the
+        #: per-round decode check is skipped entirely once the span stops
+        #: growing (in particular every delivery round after span completion).
+        self._span_dirty = False
 
     # ------------------------------------------------------------------
     def _index_for(self, token: Token) -> int:
@@ -83,7 +88,8 @@ class IndexedBroadcastNode(ProtocolNode):
         super().setup(initial_tokens)
         for token in initial_tokens:
             payload = encode_block(self.config, [token], tokens_per_block=1)
-            self.state.add_source(self._index_for(token), payload)
+            if self.state.add_source(self._index_for(token), payload):
+                self._span_dirty = True
 
     # ------------------------------------------------------------------
     def compose(self, round_index: int) -> Message | None:
@@ -97,12 +103,16 @@ class IndexedBroadcastNode(ProtocolNode):
     def deliver(self, round_index: int, messages: Sequence[Message]) -> None:
         for message in messages:
             if isinstance(message, CodedMessage) and message.generation == self.generation.generation_id:
-                self.state.receive(message)
+                if self.state.receive(message):
+                    self._span_dirty = True
         self._try_decode()
 
     # ------------------------------------------------------------------
     def _try_decode(self) -> None:
-        if self._decoded or not self.state.can_decode():
+        if self._decoded or not self._span_dirty:
+            return
+        self._span_dirty = False
+        if not self.state.can_decode():
             return
         payloads = self.state.decode_payloads()
         if payloads is None:

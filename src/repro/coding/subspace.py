@@ -24,6 +24,16 @@ echelon basis of numpy vectors.
 Coefficient-block ranks (``coefficient_rank`` / ``can_decode``) are cached
 per projection width and updated incrementally on insertion instead of
 rebuilding a throwaway projection basis on every call.
+
+Two further hot-path shortcuts: once a span *saturates* (``rank == length``)
+``insert`` returns False without running any elimination (every vector is
+already in the span), and over GF(2) the descending-leading-bit basis order
+that ``random_combination_mask`` / ``combination_mask_with`` combine against
+is maintained incrementally instead of re-sorted per compose.
+
+For whole-network batched elimination (all nodes' bases as one stacked
+uint64 array) see :class:`repro.gf.packed.GF2BasisBatch`, which is
+bit-exact with this class and what the coded round kernels run on.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..gf import GF, GF2Basis, pack_bits, unpack_bits
+from ..gf.packed import PICK_REFILL_BYTES
 
 __all__ = ["Subspace"]
 
@@ -49,6 +60,11 @@ class Subspace:
         ``k + d'``: coefficient header plus payload symbols).
     """
 
+    #: Bytes drawn per rng refill of the pick-bit buffer (see
+    #: :meth:`draw_pick_mask`); shared with the batched core so the
+    #: consumption schedule is engine-independent.
+    PICK_REFILL_BYTES = PICK_REFILL_BYTES
+
     def __init__(self, field: GF, length: int):
         if length < 0:
             raise ValueError(f"vector length must be non-negative, got {length}")
@@ -60,6 +76,9 @@ class Subspace:
         # General-q incremental coefficient-rank cache: projection width ->
         # projection subspace, fed one row per successful insert.
         self._projections: dict[int, "Subspace"] = {}
+        # Buffered random pick bits (GF(2) compose fast path).
+        self._pick_buffer = 0
+        self._pick_bits = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -72,6 +91,8 @@ class Subspace:
         else:
             clone._rows = {col: row.copy() for col, row in self._rows.items()}
             clone._projections = {k: p.copy() for k, p in self._projections.items()}
+        clone._pick_buffer = self._pick_buffer
+        clone._pick_bits = self._pick_bits
         return clone
 
     def _as_mask(self, vector: int | Sequence[int] | np.ndarray, *, pad: bool = False) -> int:
@@ -121,6 +142,11 @@ class Subspace:
             raise ValueError(
                 f"vector length {v.shape[0]} != ambient dimension {self.length}"
             )
+        if len(self._rows) >= self.length:
+            # Saturation short-circuit (mirrors GF2Basis): a full-rank span
+            # contains every vector, so skip the elimination (malformed
+            # inputs were already rejected above).
+            return False
         v = self._reduce(v)
         pivot = next((i for i in range(self.length) if int(v[i]) != 0), None)
         if pivot is None:
@@ -206,27 +232,49 @@ class Subspace:
     # ------------------------------------------------------------------
     # message generation
     # ------------------------------------------------------------------
+    def draw_pick_mask(self, rng: np.random.Generator, rank: int) -> int:
+        """Draw a uniformly random non-zero ``rank``-bit pick mask.
+
+        Pick bits come from a per-subspace buffer refilled with
+        ``rng.bytes(PICK_REFILL_BYTES)`` — one generator call amortised over
+        many composes instead of one per compose — and the all-zero draw
+        (probability ``2^-rank``) is resampled: a zero combination carries no
+        information yet would still burn message budget and count as a
+        useless delivery.  The buffer consumption schedule is part of the
+        cross-engine determinism contract (the batched core replays it
+        bit-for-bit), so all engines see identical pick sequences.
+        """
+        low = (1 << rank) - 1
+        while True:
+            while self._pick_bits < rank:
+                refill = int.from_bytes(rng.bytes(self.PICK_REFILL_BYTES), "little")
+                self._pick_buffer |= refill << self._pick_bits
+                self._pick_bits += 8 * self.PICK_REFILL_BYTES
+            picks = self._pick_buffer & low
+            self._pick_buffer >>= rank
+            self._pick_bits -= rank
+            if picks:
+                return picks
+
     def random_combination_mask(self, rng: np.random.Generator) -> int | None:
         """A uniformly random *non-zero* combination of the basis, as a mask.
 
-        GF(2) subspaces only.  Returns None when the subspace is empty.  The
-        all-zero draw (probability ``2^-rank``) is resampled away: a zero
-        message carries no information yet would still burn message budget
-        and count as a useless delivery.
+        GF(2) subspaces only.  Returns None when the subspace is empty.
+        Pick bit ``i`` selects the ``i``-th mask of
+        :meth:`GF2Basis.basis_masks` (descending leading bit).
         """
         if self._gf2 is None:
             raise TypeError("random_combination_mask requires a GF(2) subspace")
         masks = self._gf2.basis_masks()
         if not masks:
             return None
-        while True:
-            picks = rng.integers(0, 2, size=len(masks))
-            combined = 0
-            for pick, mask in zip(picks.tolist(), masks):
-                if pick:
-                    combined ^= mask
-            if combined:
-                return combined
+        picks = self.draw_pick_mask(rng, len(masks))
+        combined = 0
+        while picks:
+            low_bit = picks & -picks
+            combined ^= masks[low_bit.bit_length() - 1]
+            picks ^= low_bit
+        return combined
 
     def random_combination(self, rng: np.random.Generator) -> np.ndarray | None:
         """A uniformly random non-zero linear combination of the basis vectors.

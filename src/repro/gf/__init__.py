@@ -15,6 +15,7 @@ from .field import (
     smallest_prime_at_least,
 )
 from .gf2 import GF2Basis, pack_bits, unpack_bits
+from .packed import GF2BasisBatch, masks_to_packed, packed_to_mask, packed_to_masks
 from .matrix import (
     RrefResult,
     identity,
@@ -46,6 +47,7 @@ __all__ = [
     "GF",
     "GF2",
     "GF2Basis",
+    "GF2BasisBatch",
     "RrefResult",
     "bits_to_vector",
     "concat_vectors",
@@ -58,9 +60,12 @@ __all__ = [
     "is_prime",
     "is_zero_vector",
     "linear_combination",
+    "masks_to_packed",
     "next_prime",
     "null_space_basis",
     "pack_bits",
+    "packed_to_mask",
+    "packed_to_masks",
     "random_invertible_matrix",
     "random_matrix",
     "rank",

@@ -21,6 +21,7 @@ so ``pack_bits`` / ``unpack_bits`` only run at genuine array boundaries
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -66,9 +67,15 @@ def unpack_bits(mask: int, length: int) -> np.ndarray:
 class GF2Basis:
     """An incrementally-maintained echelon basis of a GF(2) subspace.
 
-    Rows are stored as integer bit masks in echelon form keyed by their
-    leading (highest set) bit, so insertion and membership tests are
-    O(rank * length/64).
+    Rows are stored as integer bit masks keyed by their leading (highest
+    set) bit and kept *mutually reduced* (Gauss-Jordan maintained: no row
+    carries another row's leading bit).  That invariant turns reduction into
+    a single fixed pass — the pivot rows to XOR are exactly the incoming
+    mask's pivot bits, with no data-dependent reduction chain — at the cost
+    of back-eliminating each new pivot from the existing rows once per
+    innovative insert.  It is also what makes the whole-network batched twin
+    (:class:`repro.gf.packed.GF2BasisBatch`) two vectorised passes per
+    insert.
 
     This mirrors exactly what a network-coding node does with its received
     messages: keep a basis of the span, detect whether a new message is
@@ -85,27 +92,51 @@ class GF2Basis:
     length: int
     _rows: dict[int, int] = field(default_factory=dict)
     _projections: dict[int, "GF2Basis"] = field(default_factory=dict, repr=False)
+    #: Union of the leading bits of all rows (one bit per pivot).
+    _pivot_mask: int = 0
+    #: Row leads in descending order, negated for ascending bisect — keeps
+    #: ``basis_masks`` (the per-compose hot call) sort-free.
+    _sorted_leads_neg: list[int] = field(default_factory=list, repr=False)
 
     # ------------------------------------------------------------------
     # insertion / reduction
     # ------------------------------------------------------------------
     def _reduce(self, mask: int) -> int:
-        """Reduce ``mask`` against the current basis rows."""
-        while mask:
-            lead = mask.bit_length() - 1
-            row = self._rows.get(lead)
-            if row is None:
-                return mask
-            mask ^= row
-        return 0
+        """Fully reduce ``mask`` against the (mutually reduced) basis rows.
+
+        Rows carry no pivot bit other than their own, so the set of pivot
+        rows to XOR is fixed by the *incoming* mask's pivot bits — one pass,
+        no data-dependent reduction chain.
+        """
+        hits = mask & self._pivot_mask
+        rows = self._rows
+        while hits:
+            low = hits & -hits
+            mask ^= rows[low.bit_length() - 1]
+            hits ^= low
+        return mask
 
     def insert(self, vector: int | Sequence[int] | np.ndarray) -> bool:
         """Insert a vector; return True iff it was innovative (increased rank)."""
+        if len(self._rows) >= self.length:
+            # Saturation short-circuit: a full-rank basis spans the whole
+            # ambient space, so every vector reduces to zero — skip the
+            # elimination entirely.
+            return False
         mask = int(vector) if isinstance(vector, (int, np.integer)) else pack_bits(vector)
         reduced = self._reduce(mask)
         if reduced == 0:
             return False
-        self._rows[reduced.bit_length() - 1] = reduced
+        lead = reduced.bit_length() - 1
+        # Back-eliminate the new pivot from existing rows, preserving the
+        # invariant that every pivot bit appears in exactly one row.
+        bit = 1 << lead
+        for other_lead, row in self._rows.items():
+            if row & bit:
+                self._rows[other_lead] = row ^ reduced
+        self._rows[lead] = reduced
+        self._pivot_mask |= bit
+        bisect.insort(self._sorted_leads_neg, -lead)
         # Keep cached coefficient-block projections in sync: the span grows by
         # exactly this row, so each projection grows by its masked image.
         for k, projection in self._projections.items():
@@ -135,7 +166,43 @@ class GF2Basis:
 
     def basis_masks(self) -> list[int]:
         """The basis rows as integer masks, highest leading bit first."""
-        return [self._rows[lead] for lead in sorted(self._rows, reverse=True)]
+        rows = self._rows
+        return [rows[-neg] for neg in self._sorted_leads_neg]
+
+    def rows_in_insertion_order(self) -> list[int]:
+        """The basis rows as integer masks, in the order they were inserted.
+
+        This is the replay order that reconstructs this exact basis (each row
+        has a distinct leading bit, so re-inserting them in order stores each
+        unchanged) — what :meth:`repro.gf.packed.GF2BasisBatch.lift_masks`
+        consumes when lifting per-node bases into a batch.
+        """
+        return list(self._rows.values())
+
+    @classmethod
+    def from_rows(cls, length: int, rows_in_insertion_order: Iterable[int]) -> "GF2Basis":
+        """Rebuild a basis from previously-extracted reduced rows.
+
+        The rows must be valid mutually-reduced rows (distinct leading bits,
+        no row carrying another row's lead), e.g. the output of
+        :meth:`rows_in_insertion_order` or one basis of a
+        :class:`~repro.gf.packed.GF2BasisBatch`; they are stored verbatim.
+        """
+        basis = cls(length)
+        rows = basis._rows
+        pivot_mask = 0
+        for mask in rows_in_insertion_order:
+            mask = int(mask)
+            if mask == 0:
+                raise ValueError("basis rows must be non-zero")
+            lead = mask.bit_length() - 1
+            if lead >= length or lead in rows:
+                raise ValueError("rows are not valid echelon rows")
+            rows[lead] = mask
+            pivot_mask |= 1 << lead
+        basis._pivot_mask = pivot_mask
+        basis._sorted_leads_neg = sorted(-lead for lead in rows)
+        return basis
 
     def basis_matrix(self) -> np.ndarray:
         """The basis as a 0/1 numpy matrix with one row per basis vector."""
@@ -228,4 +295,6 @@ class GF2Basis:
         clone = GF2Basis(self.length)
         clone._rows = dict(self._rows)
         clone._projections = {k: p.copy() for k, p in self._projections.items()}
+        clone._pivot_mask = self._pivot_mask
+        clone._sorted_leads_neg = list(self._sorted_leads_neg)
         return clone

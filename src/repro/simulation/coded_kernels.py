@@ -1,0 +1,934 @@
+"""Coded-protocol round kernels riding the batched GF(2) elimination core.
+
+PR 3's kernel engine removed the per-node Python dispatch for the forwarding
+family; this module does the same for the network-coding family.  All nodes'
+received subspaces live in one :class:`~repro.gf.packed.GF2BasisBatch` — a
+stacked ``(n, rank, words)`` uint64 echelon array — and one coded round is
+three numpy passes: batched random-combination compose, slot-lockstep XOR
+elimination of the delivered vectors, and vectorised decode-readiness.  No
+live :class:`~repro.coding.subspace.Subspace` objects exist on the hot path;
+:meth:`RoundKernel.to_nodes` materialises them (and the decoded tokens) back
+into the protocol nodes at the end of the run.
+
+Three kernels ship here:
+
+* :class:`IndexedBroadcastKernel` — pure RLNC indexed broadcast (Lemma 5.3),
+  covering both the randomized protocol and the deterministic pre-committed
+  coefficient schedule of Corollary 6.2 over GF(2) (a deterministic row is
+  *easier* to batch than an rng draw: parities come straight from the
+  schedule, with no zero-resampling).
+* :class:`NaiveCodedKernel` — the two-phase naive coded algorithm
+  (Corollary 7.1): the smallest-ids flood runs as packed window selections
+  over the knowledge matrix, the coded broadcast rides the batch.
+* :class:`GreedyForwardKernel` — the gather / elect / broadcast loop of
+  Theorem 7.3: random forwarding keeps per-node rng draws (bit-exact stream
+  compatibility) over integer-mask knowledge, leader election is a
+  vectorised max-flood, and the leader's block broadcast rides the batch.
+
+Equivalence contract: for identical seeds these kernels produce
+byte-identical :class:`~repro.simulation.metrics.RunMetrics` with the mask
+and legacy engines — every rng draw happens against the same per-node
+generator in the same order, composed masks are XORs of bit-identical basis
+rows in the same order, and innovative/decode flags replicate the per-node
+``Subspace`` semantics exactly (``tests/test_coded_kernels.py``).
+
+The multi-phase kernels assume the phases stay *globally consistent*: the
+id-flood windows (naive) agree across nodes and at most one node believes
+itself elected leader (greedy).  Both hold whenever the flood windows span
+``n - 1`` connected rounds — the defaults — and every in-repo adversary and
+scenario satisfies them.  If a run ever leaves that regime (which requires a
+partial decode failure followed by conflicting re-floods — the same regime
+where the object engines start mixing incompatible generations), the kernel
+raises ``RuntimeError`` loudly instead of silently diverging; rerun with
+``engine="mask"`` to reproduce the object engines' generic behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.blocks import block_bits, decode_block, encode_block
+from ..algorithms.greedy_forward import GreedyForwardNode, resolved_phase_windows
+from ..algorithms.indexed_broadcast import IndexedBroadcastNode
+from ..algorithms.naive_coded import NaiveCodedNode
+from ..algorithms.token_forwarding import tokens_per_message
+from ..gf import GF2Basis, GF2BasisBatch, masks_to_packed, packed_to_masks
+from ..network.adversary import NodeStateView
+from ..network.topology import _iter_bits
+from .kernels import (
+    KernelUnsupported,
+    RoundKernel,
+    _full_row,
+    _neighbor_or,
+    _packed_width,
+    _popcount_rows,
+    _row_bits,
+    _select_lowest_bits,
+    register_kernel,
+)
+
+__all__ = [
+    "IndexedBroadcastKernel",
+    "NaiveCodedKernel",
+    "GreedyForwardKernel",
+]
+
+
+def _bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Vectorised ``max(1, int(v).bit_length())`` for small non-negative ints."""
+    return np.maximum(1, np.frexp(values.astype(np.float64))[1]).astype(np.int64)
+
+
+def _delivery_pairs(
+    indices: np.ndarray, indptr: np.ndarray, active: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (receiver, active sender) pairs of one round, slot-major.
+
+    Slot ``j`` pairs every node of degree ``> j`` with its ``j``-th CSR
+    neighbour; concatenating the slots in ascending order lists each node's
+    inbox in exactly the ascending-neighbour order the object engines use,
+    which is the per-basis insert order
+    :meth:`~repro.gf.packed.GF2BasisBatch.insert_batch` honours for repeated
+    node ids — so one round's whole delivery is a single fused call.
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if indices.size == 0:
+        return empty, empty
+    degrees = np.diff(indptr)
+    receiver_parts: list[np.ndarray] = []
+    sender_parts: list[np.ndarray] = []
+    for slot in range(int(degrees.max())):
+        receivers = np.flatnonzero(degrees > slot)
+        senders = indices[indptr[receivers] + slot]
+        keep = active[senders]
+        if keep.any():
+            receiver_parts.append(receivers[keep])
+            sender_parts.append(senders[keep])
+    if not receiver_parts:
+        return empty, empty
+    return np.concatenate(receiver_parts), np.concatenate(sender_parts)
+
+
+# ----------------------------------------------------------------------
+# RLNC indexed broadcast
+# ----------------------------------------------------------------------
+
+
+@register_kernel(IndexedBroadcastNode)
+class IndexedBroadcastKernel(RoundKernel):
+    """RLNC indexed broadcast as batched GF(2) matrix ops (Lemma 5.3 / Cor 6.2).
+
+    All per-node subspaces live in one :class:`GF2BasisBatch` with
+    ``span_cap = k``: in the canonical instance every transmitted vector is a
+    combination of the ``k`` consistent source vectors ``e_i || t_i``, so a
+    rank-``k`` basis is saturated and late-round deliveries skip elimination
+    entirely.  For the same reason the coefficient block's rank always equals
+    the full rank (a combination with zero coefficient part is the zero
+    vector), so decode readiness is one ``rank == k`` compare per node and
+    the actual Gauss-Jordan payload extraction happens once, vectorised, in
+    :meth:`to_nodes`.
+
+    The deterministic-schedule variant (``config.extra['deterministic_schedule']``
+    over GF(2)) is supported: coefficient parities come from the committed
+    schedule instead of rng draws and the zero combination is *not* resampled
+    (a scheduled node broadcasts whatever row it was committed to).
+    """
+
+    message_name = "CodedMessage"
+
+    @classmethod
+    def supports(cls, config) -> bool:
+        # The batch requires GF(2).  The deterministic variant is fine — over
+        # GF(2) only coefficient parities matter (the large-field pipeline of
+        # Theorem 6.1 sets field_order accordingly and lands on legacy/mask).
+        return config.field_order == 2
+
+    def __init__(self, config, placement, token_index, nodes):
+        super().__init__(config, placement, token_index, nodes)
+        self.nodes = list(nodes)
+        if not all(node.state._mask_native for node in self.nodes):
+            raise KernelUnsupported(
+                "IndexedBroadcastKernel requires every node's GenerationState "
+                "to be on the mask-native GF(2) pipeline"
+            )
+        generation = self.nodes[0].generation
+        self.gen_k = generation.k
+        self.length = generation.vector_length
+        self.message_bits = (
+            generation.k
+            + generation.payload_symbols
+            + max(1, int(generation.generation_id).bit_length())
+        )
+        # Canonical-instance check: the placement tokens must occupy the
+        # dimensions 0..k-1 bijectively.  That is what makes "decoded" mean
+        # "knows every placement token" (and what caps every basis at rank k);
+        # exotic index_of mappings fall back to the mask engine.
+        index_of = config.extra.get("index_of")
+        indexes = [
+            int(index_of[t.token_id]) if index_of is not None else t.token_id.origin % self.gen_k
+            for t in self.tokens
+        ]
+        if self.k != self.gen_k or sorted(indexes) != list(range(self.gen_k)):
+            raise KernelUnsupported(
+                "IndexedBroadcastKernel requires the canonical instance: "
+                "placement tokens bijectively indexed 0..k-1"
+            )
+        self.schedule = config.extra.get("deterministic_schedule")
+        self.rngs = [node.rng for node in self.nodes]
+        self.core = GF2BasisBatch(self.n, self.length, span_cap=self.gen_k)
+        self.core.lift_masks(
+            [node.state.subspace._gf2.rows_in_insertion_order() for node in self.nodes]
+        )
+        self.decoded = np.zeros(self.n, dtype=bool)
+        self.initial_counts = np.array(
+            [len(node.known) for node in self.nodes], dtype=np.int64
+        )
+        full_mask = (1 << self.k) - 1
+        self.initially_full = np.array(
+            [node.knowledge_mask() == full_mask for node in self.nodes], dtype=bool
+        )
+        self._picks: np.ndarray | None = None
+        self._send_active: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def compose_all(self, round_index):
+        # Only the rng draws / schedule reads happen here (they are what the
+        # per-node streams see); the XOR-combine itself runs lazily in
+        # deliver_all, restricted to senders whose message some unsaturated
+        # receiver still needs.
+        if self.schedule is None:
+            active, picks = self.core.draw_random_picks(self.rngs)
+        else:
+            ranks = self.core.ranks
+            active = ranks > 0
+            max_rank = int(ranks.max())
+            picks = np.zeros((self.n, max(1, max_rank)), dtype=np.uint8)
+            for uid in np.flatnonzero(active).tolist():
+                rank = int(ranks[uid])
+                coefficients = self.schedule.coefficients(uid, round_index, rank)
+                picks[uid, :rank] = np.fromiter(
+                    (c & 1 for c in coefficients), dtype=np.uint8, count=rank
+                )
+        self._picks = picks
+        self._send_active = active
+        sizes = np.where(active, self.message_bits, 0)
+        return active, sizes
+
+    def deliver_all(self, round_index, indices, indptr, active, counts):
+        innovative = np.zeros(self.n, dtype=bool)
+        receivers, senders = _delivery_pairs(indices, indptr, self._send_active)
+        if receivers.size:
+            # Saturated receivers short-circuit inside the core anyway; the
+            # early filter means the combine below only materialises the
+            # messages someone still needs.
+            open_receiver = self.core.ranks[receivers] < self.gen_k
+            receivers, senders = receivers[open_receiver], senders[open_receiver]
+        if receivers.size:
+            needed = np.unique(senders)
+            # Subset combining pays a row gather; it only wins once most of
+            # the network is saturated and few senders still matter.
+            subset = needed if needed.size * 4 <= self.n else None
+            combined = self.core.combine_sorted(self._picks, subset)
+            flags = self.core.insert_batch(receivers, combined[senders])
+            innovative[receivers[flags]] = True
+        # In-span traffic: the coefficient block's rank equals the full rank,
+        # so decode readiness is saturation of the span cap.
+        decoded_now = (self.core.ranks >= self.gen_k) & ~self.decoded
+        self.decoded |= decoded_now
+        self._counts_cache = None
+        return innovative | decoded_now
+
+    # ------------------------------------------------------------------
+    def _known_counts_now(self) -> np.ndarray:
+        return np.where(self.decoded, self.k, self.initial_counts)
+
+    def all_complete(self) -> bool:
+        return bool((self.decoded | self.initially_full).all())
+
+    def finished_all(self) -> bool:
+        return bool(self.decoded.all())
+
+    def state_view(self, uid: int) -> NodeStateView:
+        node = self.nodes[uid]
+        rank = int(self.core.ranks[uid])
+        if self.decoded[uid]:
+            all_ids = sorted(self.token_index)
+            return NodeStateView(
+                uid=uid,
+                rank=rank,
+                known_supplier=lambda: all_ids,
+                known_count=self.k,
+                membership=self.token_index.__contains__,
+            )
+        return NodeStateView(
+            uid=uid,
+            rank=rank,
+            known_supplier=lambda: list(node.known),
+            known_count=len(node.known),
+            membership=node.known.__contains__,
+        )
+
+    def to_nodes(self, nodes):
+        decoded_tokens: list | None = None
+        decoded_uids = np.flatnonzero(self.decoded)
+        if decoded_uids.size:
+            # Canonical instance: every decoded span is the same k-dimensional
+            # source span, so one vectorised Gauss-Jordan serves all nodes.
+            ok, payloads = self.core.decode_payload_masks_batch(
+                self.gen_k, decoded_uids[:1]
+            )
+            assert bool(ok[0])
+            decoded_tokens = []
+            for payload in packed_to_masks(payloads[0]):
+                decoded_tokens.extend(
+                    decode_block(self.config, payload, tokens_per_block=1)
+                )
+        for uid, node in enumerate(nodes):
+            subspace = node.state.subspace
+            subspace._gf2 = GF2Basis.from_rows(self.length, self.core.row_masks(uid))
+            subspace._pick_buffer = self.core._pick_buffer[uid]
+            subspace._pick_bits = self.core._pick_bits[uid]
+            if self.decoded[uid] and not node._decoded:
+                known = node.known
+                for token in decoded_tokens:
+                    if token.token_id not in known:
+                        known[token.token_id] = token
+                node._decoded = True
+            node._span_dirty = False
+
+
+# ----------------------------------------------------------------------
+# naive coded dissemination (Corollary 7.1)
+# ----------------------------------------------------------------------
+
+
+@register_kernel(NaiveCodedNode)
+class NaiveCodedKernel(RoundKernel):
+    """Flood-the-smallest-ids indexing + coded broadcast, batched.
+
+    The id flood is pure packed-matrix work: a node's candidate window is the
+    ``ids_per_message`` lowest set bits of ``(known | candidates) & ~delivered``
+    (token bit order *is* ascending-id order), one
+    :func:`~repro.simulation.kernels._select_lowest_bits` pass for the whole
+    network, and delivery is one neighbour-OR.  The broadcast window seeds a
+    :class:`GF2BasisBatch` over the agreed window (``span_cap = k`` — all
+    sources are consistent) that every node inserts into; decode at the
+    window boundary is a packed learn of the selected tokens.
+
+    Knowledge, delivered and candidate state are materialised back into the
+    nodes by :meth:`to_nodes`; the transient within-window coding state is
+    not (it is dropped at the window boundary anyway).
+    """
+
+    message_name = "CodedMessage"
+
+    @classmethod
+    def supports(cls, config) -> bool:
+        return config.field_order == 2
+
+    def __init__(self, config, placement, token_index, nodes):
+        super().__init__(config, placement, token_index, nodes)
+        node0 = nodes[0]
+        self.ids_per_message = node0.ids_per_message
+        self.flood_rounds = node0.flood_rounds
+        self.broadcast_rounds = node0.broadcast_rounds
+        self.iteration_length = node0.iteration_length
+        if self.flood_rounds < 1 or self.broadcast_rounds < 1:
+            raise KernelUnsupported("NaiveCodedKernel requires positive phase windows")
+        self.rngs = [node.rng for node in nodes]
+        self.width = _packed_width(self.k)
+        self.full = _full_row(self.k, self.width)
+        self.known = np.zeros((self.n, self.width), dtype=np.uint64)
+        self._initial_order: list[list[int]] = []
+        for uid, node in enumerate(nodes):
+            order = [token_index[tid] for tid in node.known]
+            self._initial_order.append(order)
+            for bit in order:
+                self.known[uid, bit >> 6] |= np.uint64(1 << (bit & 63))
+        self.delivered = np.zeros_like(self.known)
+        self.cand = np.zeros_like(self.known)
+        self.id_costs = np.array([t.token_id.bits for t in self.tokens], dtype=np.int64)
+        self.payload_bits_per_dim = block_bits(config, tokens_per_block=1)
+        self.payload_ints = [
+            encode_block(config, [t], tokens_per_block=1) for t in self.tokens
+        ]
+        self._learn_log: list[list[int]] = [[] for _ in range(self.n)]
+        self._incomplete = {
+            uid for uid in range(self.n) if not bool((self.known[uid] == self.full).all())
+        }
+        # Broadcast-window state (rebuilt per iteration).
+        self.core: GF2BasisBatch | None = None
+        self.member = np.zeros(self.n, dtype=bool)  # has a GenerationState
+        self.window = np.zeros(self.n, dtype=bool)  # had a non-empty _selected
+        self.selected: list[int] = []
+        self.gen_k = 0
+        self.message_bits = 0
+        self._flood_send: np.ndarray | None = None
+        self._coded_send: np.ndarray | None = None
+        self._send_active: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _phase(self, round_index: int) -> tuple[str, int, int]:
+        iteration = round_index // self.iteration_length
+        offset = round_index % self.iteration_length
+        if offset < self.flood_rounds:
+            return "flood", offset, iteration
+        return "broadcast", offset - self.flood_rounds, iteration
+
+    def _drop_generation(self) -> None:
+        self.core = None
+        self.member[:] = False
+        self.window[:] = False
+        self.selected = []
+
+    # ------------------------------------------------------------------
+    def compose_all(self, round_index):
+        phase, offset, iteration = self._phase(round_index)
+        if phase == "flood":
+            if offset == 0:
+                undelivered = self.known & ~self.delivered
+                self.cand, _ = _select_lowest_bits(
+                    undelivered, self.ids_per_message, None
+                )
+                self._drop_generation()
+            window, id_bits = _select_lowest_bits(
+                (self.known | self.cand) & ~self.delivered,
+                self.ids_per_message,
+                self.id_costs,
+            )
+            active = window.any(axis=1)
+            window[~active] = 0
+            self._flood_send = window
+            self._coded_send = None
+            self._send_active = active
+            return active, np.where(active, 4 + id_bits, 0)
+        if offset == 0:
+            self._start_broadcast(iteration)
+        self._flood_send = None
+        if self.core is None:
+            active = np.zeros(self.n, dtype=bool)
+            self._send_active = active
+            return active, np.zeros(self.n, dtype=np.int64)
+        active, combined = self.core.compose_random(
+            self.rngs, np.flatnonzero(self.member)
+        )
+        self._coded_send = combined
+        self._send_active = active
+        return active, np.where(active, self.message_bits, 0)
+
+    def _start_broadcast(self, iteration: int) -> None:
+        nonempty = self.cand.any(axis=1)
+        self._drop_generation()
+        if not nonempty.any():
+            return
+        rows = self.cand[nonempty]
+        if not bool((rows == rows[0]).all()):
+            raise RuntimeError(
+                "NaiveCodedKernel: candidate windows diverged across nodes "
+                "(a partial decode failure re-floods conflicting ids); rerun "
+                "with engine='mask' for the object engines' generic handling"
+            )
+        self.window = nonempty.copy()
+        self.member = nonempty.copy()
+        self.selected = list(_row_bits(rows[0]))
+        k = len(self.selected)
+        self.gen_k = k
+        generation_id = iteration + 1
+        self.message_bits = (
+            k + self.payload_bits_per_dim + max(1, int(generation_id).bit_length())
+        )
+        self.core = GF2BasisBatch(
+            self.n, k + self.payload_bits_per_dim, span_cap=k
+        )
+        for i, index in enumerate(self.selected):
+            holds = (self.known[:, index >> 6] >> np.uint64(index & 63)) & np.uint64(1)
+            holders = np.flatnonzero(nonempty & holds.astype(bool))
+            if holders.size:
+                source = (1 << i) | (self.payload_ints[index] << k)
+                vectors = np.broadcast_to(
+                    masks_to_packed([source], self.core.words),
+                    (holders.size, self.core.words),
+                )
+                self.core.insert_batch(holders, vectors)
+
+    # ------------------------------------------------------------------
+    def deliver_all(self, round_index, indices, indptr, active, counts):
+        phase, offset, _iteration = self._phase(round_index)
+        if phase == "flood":
+            inbox = _neighbor_or(self._flood_send, indices, indptr)
+            self.cand |= inbox & ~self.delivered
+            self.cand, _ = _select_lowest_bits(self.cand, self.ids_per_message, None)
+            return np.zeros(self.n, dtype=bool)
+        changed = np.zeros(self.n, dtype=bool)
+        if self.core is not None:
+            had_rank = self.member & (self.core.ranks > 0)
+            receivers, senders = _delivery_pairs(indices, indptr, self._send_active)
+            if receivers.size:
+                self.member[receivers] = True
+                flags = self.core.insert_batch(receivers, self._coded_send[senders])
+                changed[receivers[flags]] = True
+        else:
+            had_rank = np.zeros(self.n, dtype=bool)
+        if offset == self.broadcast_rounds - 1:
+            known_changed = self._finish_broadcast()
+            # The window boundary clears every node's coding state, so the
+            # (len(known), coded_rank) fingerprint changes iff tokens were
+            # learned or the pre-round rank was non-zero (it drops to 0).
+            changed = known_changed | had_rank
+        self._counts_cache = None
+        return changed
+
+    def _finish_broadcast(self) -> np.ndarray:
+        known_changed = np.zeros(self.n, dtype=bool)
+        if self.core is not None and self.selected:
+            selected_row = np.zeros(self.width, dtype=np.uint64)
+            for index in self.selected:
+                selected_row[index >> 6] |= np.uint64(1 << (index & 63))
+            members = np.flatnonzero(self.member)
+            decodable = members[self.core.ranks[members] >= self.gen_k]
+            if decodable.size:
+                new = selected_row & ~self.known[decodable]
+                known_changed[decodable] = new.any(axis=1)
+                for uid, row in zip(decodable.tolist(), new):
+                    if row.any():
+                        self._learn_log[uid].extend(_row_bits(row))
+                self.known[decodable] |= selected_row
+                self.delivered[decodable] |= selected_row
+            # Window nodes that failed to decode only mark the selected
+            # tokens they already hold.
+            undecoded = self.window.copy()
+            undecoded[decodable] = False
+            self.delivered[undecoded] |= selected_row & self.known[undecoded]
+        self.cand[:] = 0
+        self._drop_generation()
+        return known_changed
+
+    # ------------------------------------------------------------------
+    def _known_counts_now(self) -> np.ndarray:
+        return _popcount_rows(self.known)
+
+    def all_complete(self) -> bool:
+        full = self.full
+        known = self.known
+        self._incomplete = {
+            uid for uid in self._incomplete if not bool((known[uid] == full).all())
+        }
+        return not self._incomplete
+
+    def _knows(self, uid: int, token_id) -> bool:
+        bit = self.token_index.get(token_id)
+        if bit is None:
+            return False
+        return bool((int(self.known[uid, bit >> 6]) >> (bit & 63)) & 1)
+
+    def state_view(self, uid: int) -> NodeStateView:
+        counts = self.known_counts()
+        rank = int(self.core.ranks[uid]) if self.core is not None and self.member[uid] else 0
+        return NodeStateView(
+            uid=uid,
+            rank=rank,
+            known_supplier=lambda: [
+                self.tokens[i].token_id for i in _row_bits(self.known[uid])
+            ],
+            known_count=int(counts[uid]),
+            membership=lambda token_id: self._knows(uid, token_id),
+        )
+
+    def to_nodes(self, nodes):
+        for uid, node in enumerate(nodes):
+            node.known.clear()
+            for i in self._initial_order[uid] + self._learn_log[uid]:
+                token = self.tokens[i]
+                node.known[token.token_id] = token
+            node.delivered = {
+                self.tokens[i].token_id for i in _row_bits(self.delivered[uid])
+            }
+            node._candidate_ids = {
+                self.tokens[i].token_id for i in _row_bits(self.cand[uid])
+            }
+            node._selected = (
+                [self.tokens[i].token_id for i in self.selected]
+                if self.window[uid]
+                else []
+            )
+            node._generation_state = None
+
+
+# ----------------------------------------------------------------------
+# greedy-forward (Theorem 7.3)
+# ----------------------------------------------------------------------
+
+
+@register_kernel(GreedyForwardNode)
+class GreedyForwardKernel(RoundKernel):
+    """Gather / elect / broadcast greedy-forward as a phase-switched kernel.
+
+    * **gather** — the random-forward primitive keeps one small
+      ``rng.choice`` per informed node (exact per-node stream compatibility,
+      like :class:`~repro.simulation.kernels.RandomForwardKernel`); knowledge
+      and eligibility are integer bit masks plus insertion-order index lists.
+    * **elect** — the max-``(count, uid)`` flood is one vectorised
+      ``maximum.reduceat`` per round over encoded comparison keys.
+    * **broadcast** — the elected leader's block generation is seeded into a
+      :class:`GF2BasisBatch` (``span_cap = #blocks``; a single leader's
+      sources are consistent by construction) and the window runs exactly
+      like :class:`IndexedBroadcastKernel`, with block decode + delivered
+      bookkeeping at the boundary.
+
+    :meth:`to_nodes` materialises knowledge, delivered sets and termination
+    flags; transient mid-phase scratch (gather election state, the coding
+    generation) is not materialised — it is protocol-internal and dropped at
+    the next phase boundary anyway.
+    """
+
+    message_name = "CodedMessage"
+
+    @classmethod
+    def supports(cls, config) -> bool:
+        if config.field_order != 2:
+            return False
+        # The phase windows must be positive for the node's own phase
+        # arithmetic to be consistent (GatherState clamps independently).
+        return all(window >= 1 for window in resolved_phase_windows(config))
+
+    def __init__(self, config, placement, token_index, nodes):
+        super().__init__(config, placement, token_index, nodes)
+        node0 = nodes[0]
+        self.gather_rounds = node0.gather_rounds
+        self.elect_rounds = node0.elect_rounds
+        self.broadcast_rounds = node0.broadcast_rounds
+        self.iteration_length = node0.iteration_length
+        self.tokens_per_block = node0.tokens_per_block
+        self.block_payload_bits = node0.block_payload_bits
+        self.max_blocks = node0.max_blocks
+        self.batch = tokens_per_message(config)
+        self.rngs = [node.rng for node in nodes]
+        self.costs = [t.token_id.bits + t.size_bits for t in self.tokens]
+        self.full = (1 << self.k) - 1
+        self.order: list[list[int]] = []
+        self.known_int: list[int] = []
+        for node in nodes:
+            indexes = [token_index[tid] for tid in node.known]
+            mask = 0
+            for i in indexes:
+                mask |= 1 << i
+            self.order.append(indexes)
+            self.known_int.append(mask)
+        self.delivered_int = [0] * self.n
+        self.eligible: list[list[int]] = [list(o) for o in self.order]
+        self.exhausted = np.zeros(self.n, dtype=bool)
+        self.lead_count = np.full(self.n, -1, dtype=np.int64)
+        self.lead_uid = np.full(self.n, -1, dtype=np.int64)
+        self._incomplete = {
+            uid for uid in range(self.n) if self.known_int[uid] != self.full
+        }
+        # Broadcast-window state (rebuilt per iteration).
+        self.core: GF2BasisBatch | None = None
+        self.member = np.zeros(self.n, dtype=bool)
+        self.gen_k = 0
+        self.message_bits = 0
+        self._leader = -1
+        self._leader_chosen: list[int] = []
+        self._chosen: list[list[int] | None] = [None] * self.n
+        self._coded_send: np.ndarray | None = None
+        self._send_active: np.ndarray | None = None
+        self._elect_keys: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _phase(self, round_index: int) -> tuple[str, int, int]:
+        iteration = round_index // self.iteration_length
+        offset = round_index % self.iteration_length
+        if offset < self.gather_rounds + self.elect_rounds:
+            return "gather", offset, iteration
+        return "broadcast", offset - self.gather_rounds - self.elect_rounds, iteration
+
+    def _reset_gather(self) -> None:
+        for uid in np.flatnonzero(~self.exhausted).tolist():
+            delivered = self.delivered_int[uid]
+            self.eligible[uid] = [
+                i for i in self.order[uid] if not (delivered >> i) & 1
+            ]
+        self.lead_count[:] = -1
+        self.lead_uid[:] = -1
+
+    def _ensure_local_counts(self) -> None:
+        """Seed every live node's flood state with its own (count, uid) pair."""
+        live = np.flatnonzero(~self.exhausted)
+        fresh = live[self.lead_count[live] < 0]
+        self.lead_count[fresh] = [len(self.eligible[u]) for u in fresh.tolist()]
+        self.lead_uid[fresh] = fresh
+
+    # ------------------------------------------------------------------
+    def compose_all(self, round_index):
+        phase, offset, iteration = self._phase(round_index)
+        n = self.n
+        active = np.zeros(n, dtype=bool)
+        sizes = np.zeros(n, dtype=np.int64)
+        self._coded_send = None
+        self._elect_keys = None
+        if phase == "gather":
+            if offset == 0:
+                self._reset_gather()
+            if offset < self.gather_rounds:
+                chosen_lists: list[list[int] | None] = [None] * n
+                costs = self.costs
+                batch = self.batch
+                for uid in range(n):
+                    if self.exhausted[uid]:
+                        continue
+                    eligible = self.eligible[uid]
+                    count = len(eligible)
+                    if count == 0:
+                        continue
+                    if count <= batch:
+                        chosen = eligible[:]
+                    else:
+                        picks = self.rngs[uid].choice(count, size=batch, replace=False)
+                        chosen = [eligible[int(i)] for i in picks]
+                    chosen_lists[uid] = chosen
+                    active[uid] = True
+                    sizes[uid] = sum(costs[i] for i in chosen)
+                self._chosen = chosen_lists
+            else:
+                # Elect flood: every live node broadcasts its current best
+                # (count, leader) pair; 4 tag bits per field.
+                self._ensure_local_counts()
+                live = ~self.exhausted
+                counts = np.maximum(self.lead_count, 0)
+                leaders = np.maximum(self.lead_uid, 0)
+                active = live.copy()
+                sizes = np.where(
+                    live, 8 + _bit_lengths(counts) + _bit_lengths(leaders), 0
+                )
+                self._elect_keys = np.where(
+                    live, counts * n + (n - 1 - leaders), -1
+                )
+            self._send_active = active
+            return active, sizes
+        if offset == 0:
+            self._start_broadcast(iteration)
+        if self.core is None:
+            self._send_active = active
+            return active, sizes
+        active, combined = self.core.compose_random(
+            self.rngs, np.flatnonzero(self.member & ~self.exhausted)
+        )
+        self._coded_send = combined
+        self._send_active = active
+        return active, np.where(active, self.message_bits, 0)
+
+    def _start_broadcast(self, iteration: int) -> None:
+        self.core = None
+        self.member[:] = False
+        self._leader = -1
+        self._leader_chosen = []
+        live = ~self.exhausted
+        self.exhausted |= live & (self.lead_count <= 0)
+        live = ~self.exhausted
+        self_leaders = np.flatnonzero(live & (self.lead_uid == np.arange(self.n)))
+        if self_leaders.size > 1:
+            raise RuntimeError(
+                "GreedyForwardKernel: the leader election did not converge "
+                "(multiple nodes believe they won); rerun with engine='mask' "
+                "for the object engines' generic multi-generation handling"
+            )
+        if self_leaders.size == 0:
+            return
+        leader = int(self_leaders[0])
+        pending = self.known_int[leader] & ~self.delivered_int[leader]
+        capacity = self.max_blocks * self.tokens_per_block
+        chosen = []
+        for i in _row_bits(pending):
+            chosen.append(i)
+            if len(chosen) == capacity:
+                break
+        if not chosen:
+            return
+        blocks = [
+            chosen[i : i + self.tokens_per_block]
+            for i in range(0, len(chosen), self.tokens_per_block)
+        ]
+        k = len(blocks)
+        self.gen_k = k
+        generation_id = iteration + 1
+        self.message_bits = (
+            k + self.block_payload_bits + max(1, int(generation_id).bit_length())
+        )
+        self.core = GF2BasisBatch(
+            self.n, k + self.block_payload_bits, span_cap=k
+        )
+        leader_array = np.array([leader], dtype=np.int64)
+        for i, block in enumerate(blocks):
+            payload = encode_block(
+                self.config,
+                [self.tokens[j] for j in block],
+                self.tokens_per_block,
+            )
+            source = (1 << i) | (payload << k)
+            self.core.insert_batch(
+                leader_array, masks_to_packed([source], self.core.words)
+            )
+        self.member[leader] = True
+        self._leader = leader
+        self._leader_chosen = chosen
+
+    # ------------------------------------------------------------------
+    def deliver_all(self, round_index, indices, indptr, active, counts):
+        phase, offset, _iteration = self._phase(round_index)
+        n = self.n
+        changed = np.zeros(n, dtype=bool)
+        if phase == "gather":
+            if offset < self.gather_rounds:
+                chosen = self._chosen
+                for uid in range(n):
+                    if self.exhausted[uid]:
+                        continue
+                    start, stop = int(indptr[uid]), int(indptr[uid + 1])
+                    if start == stop:
+                        continue
+                    mask = self.known_int[uid]
+                    before = mask
+                    order = self.order[uid]
+                    eligible = self.eligible[uid]
+                    delivered = self.delivered_int[uid]
+                    for v in indices[start:stop]:
+                        tokens = chosen[v]
+                        if tokens is None:
+                            continue
+                        for i in tokens:
+                            if not (mask >> i) & 1:
+                                mask |= 1 << i
+                                order.append(i)
+                                if not (delivered >> i) & 1:
+                                    eligible.append(i)
+                    if mask != before:
+                        self.known_int[uid] = mask
+                        changed[uid] = True
+                if offset == self.gather_rounds - 1:
+                    # Forwarding just ended: seed the flood with own counts
+                    # (after this round's learns, as the object code does).
+                    self._ensure_local_counts()
+            else:
+                keys = self._elect_keys
+                if indices.size:
+                    inbox = np.maximum.reduceat(keys[indices], indptr[:-1])
+                    merge = np.flatnonzero(
+                        ~self.exhausted & (np.diff(indptr) > 0) & (inbox >= 0)
+                    )
+                    merged = np.maximum(
+                        self.lead_count[merge] * n + (n - 1 - self.lead_uid[merge]),
+                        inbox[merge],
+                    )
+                    self.lead_count[merge] = merged // n
+                    self.lead_uid[merge] = n - 1 - (merged % n)
+            self._counts_cache = None
+            return changed
+        if self.core is not None:
+            ranks = self.core.ranks
+            had_rank = self.member & (ranks > 0) & ~self.exhausted
+            receivers, senders = _delivery_pairs(indices, indptr, self._send_active)
+            keep = ~self.exhausted[receivers]
+            receivers, senders = receivers[keep], senders[keep]
+            if receivers.size:
+                self.member[receivers] = True
+                flags = self.core.insert_batch(receivers, self._coded_send[senders])
+                changed[receivers[flags]] = True
+        else:
+            had_rank = np.zeros(n, dtype=bool)
+        if offset == self.broadcast_rounds - 1:
+            known_changed = self._finish_broadcast()
+            changed = known_changed | had_rank
+        self._counts_cache = None
+        return changed
+
+    def _finish_broadcast(self) -> np.ndarray:
+        known_changed = np.zeros(self.n, dtype=bool)
+        if self.core is not None:
+            members = np.flatnonzero(self.member & ~self.exhausted)
+            decodable = members[self.core.ranks[members] >= self.gen_k]
+            if decodable.size:
+                ok, payloads = self.core.decode_payload_masks_batch(
+                    self.gen_k, decodable[:1]
+                )
+                assert bool(ok[0])
+                decoded_tokens = []
+                for payload in packed_to_masks(payloads[0]):
+                    decoded_tokens.extend(
+                        decode_block(self.config, payload, self.tokens_per_block)
+                    )
+                decoded_indexes = []
+                for token in decoded_tokens:
+                    bit = self.token_index.get(token.token_id)
+                    if bit is None:
+                        raise RuntimeError(
+                            "GreedyForwardKernel: decoded a token outside the "
+                            "placement (mixed generations); rerun with "
+                            "engine='mask'"
+                        )
+                    decoded_indexes.append(bit)
+                for uid in decodable.tolist():
+                    mask = self.known_int[uid]
+                    delivered = self.delivered_int[uid]
+                    order = self.order[uid]
+                    for i in decoded_indexes:
+                        if not (mask >> i) & 1:
+                            mask |= 1 << i
+                            order.append(i)
+                            known_changed[uid] = True
+                        delivered |= 1 << i
+                    self.known_int[uid] = mask
+                    self.delivered_int[uid] = delivered
+        if self._leader >= 0:
+            delivered = self.delivered_int[self._leader]
+            for i in self._leader_chosen:
+                delivered |= 1 << i
+            self.delivered_int[self._leader] = delivered
+        self.core = None
+        self.member[:] = False
+        self._leader = -1
+        self._leader_chosen = []
+        return known_changed
+
+    # ------------------------------------------------------------------
+    def _known_counts_now(self) -> np.ndarray:
+        return np.fromiter(
+            (len(order) for order in self.order), dtype=np.int64, count=self.n
+        )
+
+    def all_complete(self) -> bool:
+        full = self.full
+        known = self.known_int
+        self._incomplete = {uid for uid in self._incomplete if known[uid] != full}
+        return not self._incomplete
+
+    def finished_all(self) -> bool:
+        return bool(self.exhausted.all())
+
+    def _knows(self, uid: int, token_id) -> bool:
+        bit = self.token_index.get(token_id)
+        return bit is not None and bool((self.known_int[uid] >> bit) & 1)
+
+    def state_view(self, uid: int) -> NodeStateView:
+        order = self.order[uid]
+        rank = int(self.core.ranks[uid]) if self.core is not None and self.member[uid] else 0
+        return NodeStateView(
+            uid=uid,
+            rank=rank,
+            known_supplier=lambda: [self.tokens[i].token_id for i in order],
+            known_count=len(order),
+            membership=lambda token_id: self._knows(uid, token_id),
+        )
+
+    def to_nodes(self, nodes):
+        for uid, node in enumerate(nodes):
+            node.known.clear()
+            for i in self.order[uid]:
+                token = self.tokens[i]
+                node.known[token.token_id] = token
+            node.delivered = {
+                self.tokens[i].token_id for i in _iter_bits(self.delivered_int[uid])
+            }
+            node._exhausted = bool(self.exhausted[uid])
+            node._gather = None
+            node._generation_state = None
+            node._broadcast_token_ids = []

@@ -25,7 +25,8 @@ as the mask engine does: kernel and mask runs report byte-identical
 rng streams come from the same ``rng.spawn`` order, and every random draw
 is performed against the same per-node generator in the same order).
 
-Kernels ship for the four regular-state protocols:
+Kernels ship for the forwarding family here and for the coding family in
+:mod:`repro.simulation.coded_kernels`:
 
 * :class:`TokenForwardingKernel` / :class:`PipelinedTokenForwardingKernel`
   — fully vectorised: token selection, delivery and phase commits are
@@ -33,10 +34,11 @@ Kernels ship for the four regular-state protocols:
 * :class:`RandomForwardKernel` — per-node ``rng.choice`` draws are kept
   (bit-exact stream compatibility) but state is integer bit masks and all
   metrics bookkeeping is vectorised;
-* :class:`IndexedBroadcastKernel` — the GF(2) coded broadcaster with
-  round-batched mask inserts into each node's
-  :class:`~repro.coding.subspace.Subspace`, skipping the per-message
-  envelope/budget/snapshot machinery entirely.
+* :class:`IndexedBroadcastKernel` / :class:`NaiveCodedKernel` /
+  :class:`GreedyForwardKernel` — the network-coded protocols, whose
+  subspaces live in one batched GF(2) elimination core
+  (:class:`~repro.gf.packed.GF2BasisBatch`) with no per-node
+  :class:`~repro.coding.subspace.Subspace` objects on the hot path.
 
 A finished run is materialised back into ordinary protocol nodes by
 :meth:`RoundKernel.to_nodes`, so ``RunResult.nodes``, the correctness check
@@ -59,7 +61,6 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from ..algorithms.base import ProtocolConfig, ProtocolNode
-from ..algorithms.indexed_broadcast import IndexedBroadcastNode
 from ..algorithms.random_forward import RandomForwardNode
 from ..algorithms.token_forwarding import (
     PipelinedTokenForwardingNode,
@@ -80,6 +81,8 @@ __all__ = [
     "PipelinedTokenForwardingKernel",
     "RandomForwardKernel",
     "IndexedBroadcastKernel",
+    "NaiveCodedKernel",
+    "GreedyForwardKernel",
     "kernel_for",
     "register_kernel",
     "run_kernel_rounds",
@@ -740,103 +743,15 @@ class RandomForwardKernel(RoundKernel):
 
 
 # ----------------------------------------------------------------------
-# GF(2) coded broadcast kernel
+# coded kernels (registered on import; see coded_kernels.py)
 # ----------------------------------------------------------------------
 
-
-@register_kernel(IndexedBroadcastNode)
-class IndexedBroadcastKernel(RoundKernel):
-    """RLNC indexed broadcast with round-batched mask inserts.
-
-    Over GF(2) a coded vector already is a single Python int, so the win
-    here is not the linear algebra but everything around it: composed
-    masks go straight from ``random_combination_mask`` into the receivers'
-    ``Subspace.insert`` without ever being wrapped in a
-    :class:`~repro.tokens.message.CodedMessage`, the (constant) message
-    size is computed once, and all metric accounting is vectorised.  The
-    node objects stay live (their subspaces *are* the packed state), so
-    ``to_nodes`` is a no-op.
-    """
-
-    message_name = "CodedMessage"
-
-    @classmethod
-    def supports(cls, config: ProtocolConfig) -> bool:
-        # The mask-native subspace path requires GF(2); the deterministic
-        # variant draws pre-committed coefficients instead of rng bits.
-        return config.field_order == 2 and "deterministic_schedule" not in config.extra
-
-    def __init__(self, config, placement, token_index, nodes):
-        super().__init__(config, placement, token_index, nodes)
-        self.nodes = list(nodes)
-        if not all(node.state._mask_native for node in self.nodes):
-            raise KernelUnsupported(
-                "IndexedBroadcastKernel requires every node's GenerationState "
-                "to be on the mask-native GF(2) pipeline"
-            )
-        generation = self.nodes[0].generation
-        self.message_bits = (
-            generation.k
-            + generation.payload_symbols
-            + max(1, int(generation.generation_id).bit_length())
-        )
-        self.full_mask = (1 << len(token_index)) - 1
-        self._incomplete = {
-            uid
-            for uid, node in enumerate(self.nodes)
-            if node.knowledge_mask() != self.full_mask
-        }
-        self._masks: list[int | None] = [None] * self.n
-
-    def compose_all(self, round_index):
-        active = np.zeros(self.n, dtype=bool)
-        sizes = np.zeros(self.n, dtype=np.int64)
-        masks: list[int | None] = [None] * self.n
-        bits = self.message_bits
-        for uid, node in enumerate(self.nodes):
-            mask = node.state.subspace.random_combination_mask(node.rng)
-            if mask is not None:
-                masks[uid] = mask
-                active[uid] = True
-                sizes[uid] = bits
-        self._masks = masks
-        return active, sizes
-
-    def deliver_all(self, round_index, indices, indptr, active, counts):
-        changed = np.zeros(self.n, dtype=bool)
-        masks = self._masks
-        for uid, node in enumerate(self.nodes):
-            start, stop = int(indptr[uid]), int(indptr[uid + 1])
-            innovative = False
-            if start != stop:
-                insert = node.state.subspace.insert
-                for v in indices[start:stop]:
-                    mask = masks[v]
-                    if mask is not None and insert(mask):
-                        innovative = True
-            decoded_now = False
-            if not node._decoded:
-                node._try_decode()
-                decoded_now = node._decoded
-            changed[uid] = innovative or decoded_now
-        self._counts_cache = None
-        return changed
-
-    def _known_counts_now(self) -> np.ndarray:
-        return np.fromiter(
-            (len(node.known) for node in self.nodes), dtype=np.int64, count=self.n
-        )
-
-    def all_complete(self) -> bool:
-        full = self.full_mask
-        nodes = self.nodes
-        self._incomplete = {
-            uid for uid in self._incomplete if nodes[uid].knowledge_mask() != full
-        }
-        return not self._incomplete
-
-    def finished_all(self) -> bool:
-        return all(node.finished() for node in self.nodes)
-
-    def state_view(self, uid: int) -> NodeStateView:
-        return self.nodes[uid].state_view()
+# The network-coding kernels ride the batched GF(2) elimination core of
+# repro.gf.packed and live in their own module; importing it here registers
+# them and keeps the historical import path
+# ``repro.simulation.kernels.IndexedBroadcastKernel`` working.
+from .coded_kernels import (  # noqa: E402  (registration import)
+    GreedyForwardKernel,
+    IndexedBroadcastKernel,
+    NaiveCodedKernel,
+)

@@ -21,7 +21,9 @@ from hypothesis import strategies as st
 from repro.algorithms import (
     GreedyForwardNode,
     IndexedBroadcastNode,
+    NaiveCodedNode,
     PipelinedTokenForwardingNode,
+    PriorityForwardNode,
     RandomForwardNode,
     TokenForwardingNode,
 )
@@ -39,7 +41,9 @@ from repro.network import (
 )
 from repro.simulation import kernel_for, run_dissemination, standard_instance
 from repro.simulation.kernels import (
+    GreedyForwardKernel,
     IndexedBroadcastKernel,
+    NaiveCodedKernel,
     RandomForwardKernel,
     TokenForwardingKernel,
 )
@@ -222,7 +226,7 @@ class TestEngineSelection:
     def test_kernel_engine_rejects_unregistered_protocols(self):
         config = make_config(8)
         with pytest.raises(ValueError, match="RoundKernel"):
-            _run(GreedyForwardNode, config, BottleneckAdversary(), engine="kernel")
+            _run(PriorityForwardNode, config, BottleneckAdversary(), engine="kernel")
 
     def test_kernel_engine_rejects_omniscient_adversaries(self):
         config = make_config(8)
@@ -255,11 +259,17 @@ class TestEngineSelection:
             kernel_for(IndexedBroadcastNode, make_config(8))
             is IndexedBroadcastKernel
         )
-        # The coded kernel declines non-GF(2) fields and the deterministic
-        # pre-committed-coefficients variant.
+        # The coded kernels decline non-GF(2) fields; the deterministic
+        # pre-committed-coefficients variant over GF(2) *is* batchable
+        # (coefficient parities instead of rng draws).
         assert kernel_for(IndexedBroadcastNode, make_config(8, field_order=3)) is None
         config = make_config(8, extra={"deterministic_schedule": object()})
-        assert kernel_for(IndexedBroadcastNode, config) is None
+        assert kernel_for(IndexedBroadcastNode, config) is IndexedBroadcastKernel
+        assert kernel_for(NaiveCodedNode, make_config(8)) is NaiveCodedKernel
+        assert kernel_for(NaiveCodedNode, make_config(8, field_order=3)) is None
+        assert kernel_for(GreedyForwardNode, make_config(8)) is GreedyForwardKernel
+        assert kernel_for(GreedyForwardNode, make_config(8, field_order=5)) is None
+        assert kernel_for(PriorityForwardNode, make_config(8)) is None
 
     def test_node_level_precondition_falls_back_under_auto(self, monkeypatch):
         # Forcing GenerationState off the mask-native pipeline is only
