@@ -221,7 +221,8 @@ class ProtocolNode(abc.ABC):
         the mask incrementally); resynchronises from ``known`` only after an
         out-of-band mutation.  Requires :meth:`enable_mask_tracking`.
         """
-        assert self._token_index is not None, "mask tracking not enabled"
+        if self._token_index is None:
+            raise RuntimeError("mask tracking not enabled")
         if self._mask_synced != len(self.known):
             index = self._token_index
             mask = 0

@@ -130,7 +130,11 @@ class PatchShareCoordinator:
         (mask-native over GF(2)) draw the combination — a uniform draw over
         the union span, never the information-free zero vector.
         """
-        assert self.decomposition is not None
+        if self.decomposition is None:
+            raise RuntimeError(
+                "patch decomposition not initialised; start_block() must "
+                "run before sharing"
+            )
         for patch in self.decomposition.patches:
             members = sorted(patch.members)
             generation = nodes[members[0]].generation

@@ -96,11 +96,13 @@ def _lowest_bits(vectors: np.ndarray) -> np.ndarray:
 
 def masks_to_packed(masks: Sequence[int], words: int) -> np.ndarray:
     """Pack Python integer bit masks into an ``(m, words)`` uint64 array."""
-    out = np.zeros((len(masks), words), dtype=np.uint64)
+    if not masks:
+        return np.zeros((0, words), dtype=np.uint64)
     nbytes = words * 8
-    for i, mask in enumerate(masks):
-        out[i] = np.frombuffer(int(mask).to_bytes(nbytes, "little"), dtype="<u8")
-    return out
+    buffer = b"".join(int(mask).to_bytes(nbytes, "little") for mask in masks)
+    return (
+        np.frombuffer(buffer, dtype="<u8").reshape(len(masks), words).copy()
+    )
 
 
 def packed_to_mask(row: np.ndarray) -> int:
@@ -372,6 +374,7 @@ class GF2BasisBatch:
             raise ValueError(f"need {self.n} mask sequences, got {len(per_node_masks)}")
         depth = max((len(masks) for masks in per_node_masks), default=0)
         for j in range(depth):
+            # repro: allow[REP401] loop is over basis depth (<= rank), each pass batches all n nodes
             nodes = np.array(
                 [u for u, masks in enumerate(per_node_masks) if len(masks) > j],
                 dtype=np.int64,
@@ -529,6 +532,7 @@ class GF2BasisBatch:
         if projection is None:
             projection = GF2BasisBatch(self.n, k)
             for j in range(int(self._rank.max()) if self.n else 0):
+                # repro: allow[REP401] replay is per depth level; every insert batches all live nodes
                 nodes = np.flatnonzero(self._rank > j)
                 projection.insert_batch(
                     nodes, self._truncated(self.rows[nodes, :, j], k)

@@ -1,0 +1,116 @@
+"""The committed baseline: grandfathered findings that do not fail the gate.
+
+A baseline entry identifies a finding by a *content* fingerprint —
+``sha1(rule | relative path | stripped source line | occurrence)`` — not
+by line number, so unrelated edits that shift code do not invalidate it.
+The occurrence counter disambiguates identical lines in one file (the
+first ``assert x`` and the second get distinct fingerprints).
+
+The file is JSON so diffs review cleanly::
+
+    {"version": 1, "entries": [
+      {"rule": "REP403", "path": "src/repro/foo.py",
+       "fingerprint": "ab12...", "reason": "why this one is allowed"}
+    ]}
+
+``python -m repro.lint --write-baseline`` regenerates entries from the
+current findings (preserving reasons for fingerprints that already had
+one); hand-editing reasons afterwards is expected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_REASON = "grandfathered"
+
+
+def _relative(path: str, root: Path) -> str:
+    try:
+        rel = Path(path).resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path)
+    return str(PurePosixPath(rel))
+
+
+def fingerprint_findings(findings: list[Finding], root: Path) -> list[str]:
+    """Content fingerprints for ``findings``, in the given order."""
+    occurrences: dict[tuple[str, str, str], int] = {}
+    prints: list[str] = []
+    for finding in findings:
+        rel = _relative(finding.path, root)
+        key = (finding.rule, rel, finding.line_text.strip())
+        occ = occurrences.get(key, 0)
+        occurrences[key] = occ + 1
+        digest = hashlib.sha1(
+            f"{finding.rule}|{rel}|{finding.line_text.strip()}|{occ}".encode()
+        ).hexdigest()[:16]
+        prints.append(digest)
+    return prints
+
+
+@dataclass
+class Baseline:
+    path: Path
+    #: fingerprint -> reason
+    entries: dict[str, str]
+    #: Extra metadata kept verbatim per fingerprint for the file on disk.
+    records: dict[str, dict]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        entries: dict[str, str] = {}
+        records: dict[str, dict] = {}
+        if path.is_file():
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+            for record in data.get("entries", []):
+                fp = record.get("fingerprint")
+                if isinstance(fp, str):
+                    entries[fp] = str(record.get("reason", DEFAULT_REASON))
+                    records[fp] = dict(record)
+        return cls(path=path, entries=entries, records=records)
+
+    def split(
+        self, findings: list[Finding], root: Path
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition findings into ``(active, baselined)``."""
+        prints = fingerprint_findings(findings, root)
+        active: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding, fp in zip(findings, prints):
+            (baselined if fp in self.entries else active).append(finding)
+        return active, baselined
+
+    def write(self, findings: list[Finding], root: Path) -> int:
+        """Replace the baseline with the current findings; return the count.
+
+        Reasons already recorded for a surviving fingerprint are kept, so
+        regenerating after unrelated churn does not erase justifications.
+        """
+        prints = fingerprint_findings(findings, root)
+        entries = []
+        for finding, fp in zip(findings, prints):
+            entries.append(
+                {
+                    "rule": finding.rule,
+                    "name": finding.name,
+                    "path": _relative(finding.path, root),
+                    "fingerprint": fp,
+                    "reason": self.entries.get(fp, DEFAULT_REASON),
+                }
+            )
+        entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        self.path.write_text(json.dumps(payload, indent=2) + "\n")
+        self.entries = {e["fingerprint"]: e["reason"] for e in entries}
+        self.records = {e["fingerprint"]: dict(e) for e in entries}
+        return len(entries)

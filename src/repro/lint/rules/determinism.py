@@ -1,0 +1,182 @@
+"""REP1xx: every random draw comes from an explicit, seeded Generator.
+
+The repo's reproducibility story — per-seed determinism, serial ≡
+parallel sweeps, byte-identical engines — rests on all randomness
+flowing through ``np.random.Generator`` objects constructed from an
+explicit seed (and forked with ``rng.spawn``).  Anything that reads
+hidden global state (stdlib ``random``, module-level ``np.random.*``
+draws, ``np.random.seed``) or ambient entropy (``os.urandom``, wall
+clocks, ``uuid4``) silently breaks that contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from ..visitor import FileIndex
+from . import BaseRule, register_rule
+
+#: Module-level numpy.random draw functions (all share one hidden
+#: global RandomState).
+NP_GLOBAL_SAMPLERS = frozenset(
+    {
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "geometric",
+        "beta",
+        "gamma",
+    }
+)
+
+#: Wall-clock and entropy calls with no place in deterministic src code.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule
+class StdlibRandomRule(BaseRule):
+    id = "REP101"
+    name = "stdlib-random"
+    description = (
+        "stdlib `random` reads hidden global state; draw from the run's "
+        "seeded np.random.Generator instead"
+    )
+    categories = frozenset({"src", "bench"})
+
+    def check(self, index: FileIndex) -> Iterator[Finding]:
+        for imp in index.imports:
+            module = imp.module
+            if module.startswith("."):
+                continue  # a package-relative `.random` module is not stdlib
+            if module == "random" or module.startswith("random."):
+                yield self.finding(
+                    index,
+                    imp.node,
+                    "import of stdlib `random`: draws bypass the seeded "
+                    "np.random.Generator streams that make runs reproducible",
+                )
+        for call in index.calls:
+            resolved = call.resolved
+            if resolved and resolved.startswith("random."):
+                yield self.finding(
+                    index,
+                    call.node,
+                    f"`{resolved}` uses the stdlib global RNG; thread the "
+                    "run's np.random.Generator here instead",
+                )
+
+
+@register_rule
+class SeedlessRngRule(BaseRule):
+    id = "REP102"
+    name = "seedless-rng"
+    description = (
+        "numpy RNGs must be constructed from an explicit seed; global "
+        "np.random state is forbidden"
+    )
+    categories = frozenset({"src", "bench"})
+
+    def check(self, index: FileIndex) -> Iterator[Finding]:
+        for call in index.calls:
+            resolved = call.resolved
+            if not resolved or not resolved.startswith("numpy.random."):
+                continue
+            tail = resolved[len("numpy.random.") :]
+            node = call.node
+            seedless = not node.args and not node.keywords
+            if tail == "default_rng" and seedless:
+                yield self.finding(
+                    index,
+                    node,
+                    "seedless np.random.default_rng(): the stream is drawn "
+                    "from OS entropy, so the run cannot be reproduced — pass "
+                    "a seed (or fork with rng.spawn())",
+                )
+            elif tail == "seed":
+                yield self.finding(
+                    index,
+                    node,
+                    "np.random.seed mutates the hidden global RandomState; "
+                    "construct a local default_rng(seed) instead",
+                )
+            elif tail == "RandomState" and seedless:
+                yield self.finding(
+                    index,
+                    node,
+                    "seedless np.random.RandomState(): seed it, or prefer "
+                    "default_rng(seed)",
+                )
+            elif tail in NP_GLOBAL_SAMPLERS:
+                yield self.finding(
+                    index,
+                    node,
+                    f"module-level np.random.{tail} draws from the hidden "
+                    "global stream shared across the whole process; use a "
+                    "seeded Generator",
+                )
+
+
+@register_rule
+class WallClockRule(BaseRule):
+    id = "REP103"
+    name = "wall-clock"
+    description = (
+        "wall clocks and ambient entropy are forbidden in src/ (benchmarks "
+        "may time themselves)"
+    )
+    categories = frozenset({"src"})
+
+    def check(self, index: FileIndex) -> Iterator[Finding]:
+        for imp in index.imports:
+            module = imp.module
+            if module == "secrets" or module.startswith("secrets."):
+                yield self.finding(
+                    index,
+                    imp.node,
+                    "`secrets` is an entropy source; simulation code must be "
+                    "seed-deterministic",
+                )
+        for call in index.calls:
+            resolved = call.resolved
+            if resolved in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    index,
+                    call.node,
+                    f"`{resolved}` makes behaviour depend on the wall clock "
+                    "or OS entropy; results stop being a pure function of "
+                    "(config, seed) — keep timing in benchmarks/",
+                )

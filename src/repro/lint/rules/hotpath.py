@@ -1,0 +1,123 @@
+"""REP4xx: hot-path hygiene in the packed/kernel modules.
+
+The kernel engine's entire advantage is that a round is a handful of
+whole-network array operations.  Three structural regressions erode it
+silently: numpy calls re-entering Python ``for`` loops (per-element
+dispatch pays numpy overhead n times), float literals or true division
+leaking ``float64`` into ``uint64`` word arrays (silent upcast, then a
+cast back that may truncate), and invariants guarded by ``assert``
+(stripped wholesale under ``python -O``, so the "impossible" state ships
+instead of raising).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from ..visitor import FileIndex
+from . import BaseRule, register_rule
+
+#: Functions where per-element Python is accepted: materialisation back
+#: into node objects and one-time setup are off the hot path.
+LOOP_EXEMPT_FUNCTIONS = frozenset({"to_nodes", "__init__"})
+
+#: Loop targets that mark a per-*round* loop.  One Python iteration per
+#: round with whole-network array ops inside is the engine's design; the
+#: rule hunts per-element (n- or k-sized) loops.
+ROUND_LOOP_TARGETS = ("round", "iteration", "epoch")
+
+
+def _is_round_loop(targets: tuple[str, ...]) -> bool:
+    return any(
+        marker in target for target in targets for marker in ROUND_LOOP_TARGETS
+    )
+
+
+@register_rule
+class NumpyInLoopRule(BaseRule):
+    id = "REP401"
+    name = "numpy-in-loop"
+    description = (
+        "per-element numpy calls inside Python for-loops in hot-path "
+        "modules; batch across the loop axis"
+    )
+    categories = frozenset({"src"})
+
+    def check(self, index: FileIndex) -> Iterator[Finding]:
+        if not (index.is_kernel_module or index.is_packed_module):
+            return
+        for call in index.calls:
+            resolved = call.resolved
+            if not resolved or not resolved.startswith("numpy."):
+                continue
+            element_loops = [
+                (kind, targets)
+                for kind, targets in call.loops
+                if kind in ("range", "enumerate") and not _is_round_loop(targets)
+            ]
+            if not element_loops:
+                continue
+            if LOOP_EXEMPT_FUNCTIONS & set(call.func_names):
+                continue
+            yield self.finding(
+                index,
+                call.node,
+                f"`{resolved}` inside a Python element loop: numpy dispatch "
+                "is paid once per iteration — lift the operation across the "
+                "loop axis (or justify with an allow comment)",
+            )
+
+
+@register_rule
+class Uint64UpcastRule(BaseRule):
+    id = "REP402"
+    name = "uint64-upcast"
+    description = (
+        "true division / float literals in packed modules silently upcast "
+        "uint64 words to float64"
+    )
+    categories = frozenset({"src"})
+
+    def check(self, index: FileIndex) -> Iterator[Finding]:
+        if not index.is_packed_module:
+            return
+        for record in index.binops:
+            if record.kind == "division":
+                yield self.finding(
+                    index,
+                    record.node,
+                    "true division in a packed module produces float64 — "
+                    "uint64 word arrays lose exactness above 2**53; use // "
+                    "(or an explicit float() if a ratio is intended)",
+                )
+            else:
+                yield self.finding(
+                    index,
+                    record.node,
+                    "float literal mixed into arithmetic in a packed "
+                    "module: a uint64 operand would be upcast to float64 "
+                    "silently — make the intended dtype explicit",
+                )
+
+
+@register_rule
+class LoadBearingAssertRule(BaseRule):
+    id = "REP403"
+    name = "load-bearing-assert"
+    description = (
+        "assert statements vanish under `python -O`; raise an explicit "
+        "error for real invariants"
+    )
+    categories = frozenset({"src"})
+
+    def check(self, index: FileIndex) -> Iterator[Finding]:
+        for record in index.asserts:
+            yield self.finding(
+                index,
+                record.node,
+                "assert is stripped under python -O, so this invariant "
+                "silently stops being checked; raise "
+                "RuntimeError/ValueError explicitly (tests may keep "
+                "asserts — this rule only covers src/)",
+            )

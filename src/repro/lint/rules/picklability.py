@@ -1,0 +1,95 @@
+"""REP2xx: factories that cross process boundaries must pickle.
+
+``scenario_for`` / ``register_scenario`` factories and ``SweepTask``
+points ship into ``ProcessPoolExecutor`` workers (and, per ROADMAP item
+2, distributed sweep shards next).  Pickle serialises module-level
+callables by qualified name — lambdas and closures fail at submit time,
+but only once a sweep actually fans out, long after the registration
+site.  This rule rejects them where they are written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..visitor import FileIndex
+from . import BaseRule, register_rule
+
+#: Callables whose arguments become cross-process factories.
+FACTORY_SINKS = frozenset({"register_scenario", "Scenario", "SweepTask"})
+
+#: Functions whose *return value* is the cross-process factory.
+FACTORY_RETURNERS = frozenset({"scenario_for", "adversary_for"})
+
+
+def _is_factory_returner(name: str) -> bool:
+    return name in FACTORY_RETURNERS or name.endswith("_factory")
+
+
+@register_rule
+class UnpicklableFactoryRule(BaseRule):
+    id = "REP201"
+    name = "unpicklable-factory"
+    description = (
+        "scenario/sweep factories must be module-level callables — lambdas "
+        "and closures cannot pickle into pool workers"
+    )
+    categories = frozenset({"src", "bench"})
+
+    def check(self, index: FileIndex) -> Iterator[Finding]:
+        nested = index.nested_function_names - index.module_level_names
+        for call in index.calls:
+            resolved = call.resolved
+            if not resolved or resolved.split(".")[-1] not in FACTORY_SINKS:
+                continue
+            sink = resolved.split(".")[-1]
+            values = list(call.node.args) + [kw.value for kw in call.node.keywords]
+            for value in values:
+                for child in ast.walk(value):
+                    if isinstance(child, ast.Lambda):
+                        yield self.finding(
+                            index,
+                            child,
+                            f"lambda passed into {sink}(...): it cannot "
+                            "pickle into ProcessPoolExecutor workers — move "
+                            "it to a module-level def (functools.partial "
+                            "over one is fine)",
+                        )
+                if isinstance(value, ast.Name) and value.id in nested:
+                    yield self.finding(
+                        index,
+                        value,
+                        f"`{value.id}` is defined in a nested scope in this "
+                        f"module; factories handed to {sink}(...) must be "
+                        "module-level so they pickle by qualified name",
+                    )
+        for ret in index.returns:
+            if not ret.func_names:
+                continue
+            owner = next(
+                (name for name in reversed(ret.func_names) if name != "<lambda>"),
+                None,
+            )
+            if owner is None or not _is_factory_returner(owner):
+                continue
+            value = ret.node.value
+            if isinstance(value, ast.Lambda):
+                yield self.finding(
+                    index,
+                    value,
+                    f"{owner}() returns a lambda; the factory contract "
+                    "requires a picklable module-level callable (use "
+                    "functools.partial over a module-level def)",
+                )
+            elif isinstance(value, ast.Name) and value.id in (
+                index.nested_function_names
+            ):
+                yield self.finding(
+                    index,
+                    value,
+                    f"{owner}() returns nested function `{value.id}`; "
+                    "closures cannot pickle into sweep workers — hoist it "
+                    "to module level",
+                )

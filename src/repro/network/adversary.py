@@ -130,7 +130,11 @@ class NodeStateView:
     @property
     def known_token_ids(self) -> frozenset:
         if self._known is None:
-            assert self._supplier is not None
+            if self._supplier is None:
+                raise RuntimeError(
+                    "NodeStateView invariant violated: neither a known set "
+                    "nor a supplier was provided"
+                )
             self._known = frozenset(self._supplier())
         return self._known
 

@@ -801,5 +801,8 @@ class ScheduleAdversary(Adversary):
         while self._served <= round_index:
             self._last = self._next_topology()
             self._served += 1
-        assert self._last is not None
+        if self._last is None:
+            raise RuntimeError(
+                f"schedule yielded no topology for round {round_index}"
+            )
         return self._last

@@ -119,6 +119,7 @@ def _stack_is_interval_connected(stack: np.ndarray, n: int, interval: int) -> bo
     if n <= 1:
         return True
     for start in range(0, stack.shape[0] - interval + 1):
+        # repro: allow[REP401] loop is per sliding window; the reduce is one whole-matrix op
         window = np.bitwise_and.reduce(stack[start : start + interval], axis=0)
         if not packed_is_connected(window, n):
             return False

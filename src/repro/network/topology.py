@@ -603,7 +603,7 @@ def random_connected_topology(
     if n < 3 or extra_edge_prob == 0:
         return tree
     masks = list(tree.masks)
-    expected = extra_edge_prob * n * (n - 1) / 2
+    expected = extra_edge_prob * n * (n - 1) / 2  # repro: allow[REP402] scalar float expectation, no uint64 operands
     count = int(rng.poisson(expected))
     for _ in range(count):
         u = int(rng.integers(0, n))

@@ -1,0 +1,10 @@
+"""Fixture: whole-network batch leaking into per-node code (REP303).
+
+Lives under an ``algorithms/`` directory on purpose.
+"""
+
+from repro.gf.packed import GF2BasisBatch
+
+
+def per_node_logic(n, length):
+    return GF2BasisBatch(n, length)

@@ -1,0 +1,24 @@
+"""Fixture: load-bearing asserts (REP403) and bad directives (REP001)."""
+
+
+def guarded(value):
+    assert value is not None
+    return value
+
+
+def guarded_allowed(value):
+    assert value is not None  # repro: allow[REP403] fixture proves suppression works
+    return value
+
+
+def bad_directive_no_reason(value):
+    assert value is not None  # repro: allow[REP403]
+    return value
+
+
+def bad_directive_unknown_rule(value):
+    return value  # repro: allow[REP999] no such rule
+
+
+def bad_directive_malformed(value):
+    return value  # repro: allowing everything forever

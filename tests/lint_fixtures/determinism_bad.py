@@ -1,0 +1,51 @@
+"""Fixture: determinism violations (REP101 / REP102 / REP103).
+
+Deliberately broken — excluded from the repo's own lint run.
+"""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def stdlib_draw():
+    return random.choice([1, 2, 3])
+
+
+def stdlib_draw_allowed():
+    return random.choice([1, 2, 3])  # repro: allow[REP101] fixture proves suppression works
+
+
+def seedless():
+    return np.random.default_rng()
+
+
+def seeded_is_fine():
+    return np.random.default_rng(1234)
+
+
+def seedless_allowed():
+    return np.random.default_rng()  # repro: allow[REP102] fixture proves suppression works
+
+
+def global_seed():
+    np.random.seed(0)
+
+
+def global_sampler():
+    return np.random.randint(0, 10)
+
+
+def wall_clock():
+    return time.perf_counter()
+
+
+def wall_clock_allowed():
+    # repro: allow[REP103] fixture proves the previous-line form works
+    return time.perf_counter()
+
+
+def entropy():
+    return os.urandom(8)

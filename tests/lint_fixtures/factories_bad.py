@@ -1,0 +1,48 @@
+"""Fixture: unpicklable factory violations (REP201)."""
+
+from functools import partial
+
+
+def register_scenario(scenario):
+    return scenario
+
+
+class Scenario:
+    def __init__(self, name, build):
+        self.name = name
+        self.build = build
+
+
+def module_level_build(n, seed):
+    return (n, seed)
+
+
+def ok_registrations():
+    register_scenario(Scenario("fine", build=module_level_build))
+    register_scenario(Scenario("fine-partial", build=partial(module_level_build, 8)))
+
+
+def bad_lambda_registration():
+    register_scenario(Scenario("broken", build=lambda n, seed: (n, seed)))
+
+
+def bad_nested_registration():
+    def nested_build(n, seed):
+        return (n, seed)
+
+    register_scenario(Scenario("broken", build=nested_build))
+
+
+def allowed_lambda_registration():
+    register_scenario(Scenario("waived", build=lambda n, seed: (n, seed)))  # repro: allow[REP201] fixture proves suppression works
+
+
+def scenario_for(name, n, seed):
+    return lambda: (name, n, seed)
+
+
+def adversary_factory(n):
+    def build():
+        return n
+
+    return build

@@ -1,0 +1,51 @@
+"""Fixture: kernel registration contract (REP301)."""
+
+
+def register_kernel(node_class):
+    def decorate(cls):
+        return cls
+
+    return decorate
+
+
+class NodeClass:
+    pass
+
+
+class KernelBase:
+    def supports(self, config):
+        return True
+
+    def to_nodes(self, nodes):
+        return None
+
+
+@register_kernel(NodeClass)
+class CompleteKernel:
+    def supports(self, config):
+        return True
+
+    def to_nodes(self, nodes):
+        return None
+
+
+@register_kernel(NodeClass)
+class InheritedKernel(KernelBase):
+    pass
+
+
+@register_kernel(NodeClass)
+class MissingBothKernel:
+    pass
+
+
+@register_kernel(NodeClass)
+class MissingToNodesKernel:
+    def supports(self, config):
+        return True
+
+
+@register_kernel(NodeClass)
+# repro: allow[REP301] fixture proves suppression works
+class WaivedKernel:
+    pass

@@ -1,0 +1,60 @@
+"""Fixture: hot-path violations in a kernel/packed module.
+
+The basename ``kernels.py`` matches both the default kernel-module list
+(REP302) and the packed-module list (REP401 / REP402).
+"""
+
+import numpy as np
+
+
+class Subspace:
+    pass
+
+
+class Message:
+    pass
+
+
+class FakeKernel:
+    def compose_all(self):
+        space = Subspace()
+        return space
+
+    def compose_all_allowed(self):
+        return Subspace()  # repro: allow[REP302] fixture proves suppression works
+
+    def deliver_loop(self, rows):
+        total = 0
+        for i in range(len(rows)):
+            total += int(np.sum(rows[i]))
+        return total
+
+    def deliver_loop_allowed(self, rows):
+        total = 0
+        for i in range(len(rows)):
+            total += int(np.sum(rows[i]))  # repro: allow[REP401] fixture proves suppression works
+        return total
+
+    def round_loop_is_fine(self, rows):
+        total = 0
+        for round_index in range(4):
+            total += int(np.sum(rows)) + round_index
+        return total
+
+    def to_nodes(self, nodes):
+        for node in nodes:
+            node.space = Subspace()
+            node.message = Message()
+        return nodes
+
+    def upcast(self, words):
+        return words / 2
+
+    def upcast_allowed(self, words):
+        return words / 2  # repro: allow[REP402] fixture proves suppression works
+
+    def float_literal(self, words):
+        return words * 0.5
+
+    def floor_div_is_fine(self, words):
+        return words // 2

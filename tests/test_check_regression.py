@@ -1,0 +1,161 @@
+"""Tests for the headline regression gate (benchmarks/check_regression.py).
+
+The script compares live machine-normalised figures (written by
+``benchmarks/common.record_headline``) against the reference recorded in
+``BENCH_*.json`` files and fails CI on a > ``TOLERANCE`` regression.
+These tests drive it against synthetic fixtures in a tmp tree: the
+failure path, the within-tolerance pass, missing-baseline and
+missing-measurement skips, the stale source-digest skip, and the
+smaller-is-better bound direction.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+import check_regression as cr  # noqa: E402
+import common  # noqa: E402
+
+DIGEST = "digest-abc123"
+
+
+@pytest.fixture
+def bench_tree(tmp_path, monkeypatch):
+    """Point the checker (and record_headline) at a synthetic repo root."""
+    headlines = tmp_path / ".benchmarks" / "headlines"
+    monkeypatch.setattr(cr, "ROOT", tmp_path)
+    monkeypatch.setattr(cr, "HEADLINE_DIR", headlines)
+    monkeypatch.setattr(common, "HEADLINE_DIR", headlines)
+    monkeypatch.setattr(common, "_source_digest", lambda: DIGEST)
+    return tmp_path
+
+
+def write_baseline(root: Path, name: str, value: float, *, larger_is_better=True, bench="BENCH_e99.json"):
+    path = root / bench
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["headline"] = {
+        "name": name,
+        "value": value,
+        "larger_is_better": larger_is_better,
+    }
+    path.write_text(json.dumps(payload))
+
+
+def write_live(root: Path, name: str, value: float, *, digest=DIGEST, larger_is_better=True):
+    headlines = root / ".benchmarks" / "headlines"
+    headlines.mkdir(parents=True, exist_ok=True)
+    (headlines / f"{name}.json").write_text(
+        json.dumps(
+            {
+                "name": name,
+                "value": value,
+                "larger_is_better": larger_is_better,
+                "source_digest": digest,
+            }
+        )
+    )
+
+
+def test_clean_run_passes(bench_tree, capsys):
+    write_baseline(bench_tree, "kernel_speedup", 10.0)
+    write_live(bench_tree, "kernel_speedup", 9.8)
+    assert cr.check() == []
+    assert cr.main() == 0
+    out = capsys.readouterr().out
+    assert "ok" in out and "no headline regressions" in out
+
+
+def test_regression_beyond_tolerance_fails(bench_tree, capsys):
+    write_baseline(bench_tree, "kernel_speedup", 10.0)
+    write_live(bench_tree, "kernel_speedup", 7.4)  # floor is 10 * 0.75 = 7.5
+    failures = cr.check()
+    assert len(failures) == 1
+    assert "kernel_speedup regressed" in failures[0]
+    assert cr.main() == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "regressed" in captured.err
+
+
+def test_boundary_value_is_not_a_regression(bench_tree):
+    write_baseline(bench_tree, "kernel_speedup", 10.0)
+    write_live(bench_tree, "kernel_speedup", 7.5)  # exactly the floor
+    assert cr.check() == []
+
+
+def test_smaller_is_better_uses_a_ceiling(bench_tree):
+    write_baseline(bench_tree, "decode_overhead", 2.0, larger_is_better=False)
+    write_live(bench_tree, "decode_overhead", 2.4)  # ceiling is 2 * 1.25 = 2.5
+    assert cr.check() == []
+    write_live(bench_tree, "decode_overhead", 2.6)
+    failures = cr.check()
+    assert len(failures) == 1 and "decode_overhead" in failures[0]
+
+
+def test_missing_baseline_means_nothing_to_check(bench_tree):
+    write_live(bench_tree, "kernel_speedup", 1.0)
+    assert cr.check() == []
+    assert cr.main() == 0
+
+
+def test_missing_live_measurement_is_skipped(bench_tree, capsys):
+    write_baseline(bench_tree, "kernel_speedup", 10.0)
+    assert cr.check() == []
+    assert "no live measurement" in capsys.readouterr().out
+
+
+def test_stale_digest_is_skipped_not_compared(bench_tree, capsys):
+    """A figure measured on different source must neither pass nor fail."""
+    write_baseline(bench_tree, "kernel_speedup", 10.0)
+    write_live(bench_tree, "kernel_speedup", 1.0, digest="other-digest")
+    assert cr.check() == []
+    assert "stale measurement" in capsys.readouterr().out
+
+
+def test_malformed_files_are_ignored(bench_tree):
+    (bench_tree / "BENCH_e98.json").write_text("{not json")
+    (bench_tree / "BENCH_e97.json").write_text(json.dumps({"headline": {"name": "x"}}))
+    headlines = bench_tree / ".benchmarks" / "headlines"
+    headlines.mkdir(parents=True)
+    (headlines / "junk.json").write_text("[broken")
+    (headlines / "nokey.json").write_text(json.dumps({"source_digest": DIGEST}))
+    write_baseline(bench_tree, "kernel_speedup", 10.0)
+    write_live(bench_tree, "kernel_speedup", 9.0)
+    assert cr.check() == []
+
+
+def test_tolerance_parameter_is_respected(bench_tree):
+    write_baseline(bench_tree, "kernel_speedup", 10.0)
+    write_live(bench_tree, "kernel_speedup", 9.0)
+    assert cr.check(tolerance=0.25) == []
+    assert len(cr.check(tolerance=0.05)) == 1
+
+
+def test_record_headline_roundtrip(bench_tree):
+    """The producer side: record_headline output is what the checker reads."""
+    common.record_headline("kernel_speedup", 9.9)
+    write_baseline(bench_tree, "kernel_speedup", 10.0)
+    assert cr.check() == []
+    recorded = json.loads(
+        (bench_tree / ".benchmarks" / "headlines" / "kernel_speedup.json").read_text()
+    )
+    assert recorded["source_digest"] == DIGEST
+    assert recorded["larger_is_better"] is True
+
+
+def test_multiple_headlines_report_each_failure(bench_tree):
+    write_baseline(bench_tree, "a_ratio", 4.0, bench="BENCH_e01.json")
+    write_baseline(bench_tree, "b_ratio", 8.0, bench="BENCH_e02.json")
+    write_live(bench_tree, "a_ratio", 1.0)
+    write_live(bench_tree, "b_ratio", 2.0)
+    failures = cr.check()
+    assert len(failures) == 2
+    assert failures[0].startswith("a_ratio") and failures[1].startswith("b_ratio")

@@ -1,0 +1,420 @@
+"""Self-tests for the repro.lint contract linter.
+
+Every shipped rule gets at least one fixture proving it fires and one
+proving the ``# repro: allow[...]`` suppression silences it (the
+acceptance contract for the lint gate), plus engine-level coverage:
+baseline fingerprints surviving line shifts, directive validation,
+config loading, reporters, CLI exit codes, and the standing requirement
+that the repository's own tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    load_config,
+    run_lint,
+    to_json,
+)
+from repro.lint.__main__ import main as lint_main
+from repro.lint.engine import categorize, lint_source
+from repro.lint.rules import RULE_REGISTRY, all_rules
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CONFIG = LintConfig(root=FIXTURES)
+
+
+def lint_fixture(name: str, category: str = "src"):
+    path = FIXTURES / name
+    return lint_source(path, path.read_text(), CONFIG, category=category)
+
+
+def line_of(name: str, needle: str, occurrence: int = 0) -> int:
+    """1-based line number of the ``occurrence``-th line containing ``needle``."""
+    hits = [
+        i
+        for i, text in enumerate((FIXTURES / name).read_text().splitlines(), 1)
+        if needle in text
+    ]
+    return hits[occurrence]
+
+
+def rule_lines(findings, rule: str) -> set[int]:
+    return {f.line for f in findings if f.rule == rule}
+
+
+# ----------------------------------------------------------------------
+# rule catalogue sanity
+# ----------------------------------------------------------------------
+
+
+def test_rule_registry_shape():
+    ids = sorted(RULE_REGISTRY)
+    assert ids == [
+        "REP101",
+        "REP102",
+        "REP103",
+        "REP201",
+        "REP301",
+        "REP302",
+        "REP303",
+        "REP401",
+        "REP402",
+        "REP403",
+    ]
+    slugs = {rule.name for rule in all_rules()}
+    assert len(slugs) == len(ids), "rule slugs must be unique"
+    for rule in all_rules():
+        assert rule.description
+        assert rule.categories <= {"src", "bench", "test"}
+
+
+# ----------------------------------------------------------------------
+# determinism rules
+# ----------------------------------------------------------------------
+
+
+def test_rep101_fires_and_suppresses():
+    active, suppressed = lint_fixture("determinism_bad.py")
+    assert line_of("determinism_bad.py", "import random") in rule_lines(active, "REP101")
+    assert line_of("determinism_bad.py", "random.choice") in rule_lines(active, "REP101")
+    allowed = line_of("determinism_bad.py", "allow[REP101]")
+    assert allowed not in rule_lines(active, "REP101")
+    assert allowed in rule_lines(suppressed, "REP101")
+
+
+def test_rep102_fires_on_seedless_and_global_state_only():
+    active, suppressed = lint_fixture("determinism_bad.py")
+    lines = rule_lines(active, "REP102")
+    assert line_of("determinism_bad.py", "np.random.default_rng()") in lines
+    assert line_of("determinism_bad.py", "np.random.seed(0)") in lines
+    assert line_of("determinism_bad.py", "np.random.randint") in lines
+    assert line_of("determinism_bad.py", "np.random.default_rng(1234)") not in lines
+    assert line_of("determinism_bad.py", "allow[REP102]") in rule_lines(suppressed, "REP102")
+
+
+def test_rep103_fires_in_src_not_bench():
+    active, _ = lint_fixture("determinism_bad.py")
+    lines = rule_lines(active, "REP103")
+    assert line_of("determinism_bad.py", "time.perf_counter()") in lines
+    assert line_of("determinism_bad.py", "os.urandom(8)") in lines
+    # previous-line suppression form
+    allowed = line_of("determinism_bad.py", "time.perf_counter()", occurrence=1)
+    assert allowed not in lines
+    bench_active, _ = lint_fixture("determinism_bad.py", category="bench")
+    assert not rule_lines(bench_active, "REP103"), "benchmarks may time themselves"
+    assert rule_lines(bench_active, "REP101"), "stdlib random stays banned in bench"
+
+
+# ----------------------------------------------------------------------
+# picklability
+# ----------------------------------------------------------------------
+
+
+def test_rep201_fires_on_lambda_closure_and_factory_returns():
+    active, suppressed = lint_fixture("factories_bad.py")
+    lines = rule_lines(active, "REP201")
+    assert line_of("factories_bad.py", 'Scenario("broken", build=lambda') in lines
+    assert line_of("factories_bad.py", 'register_scenario(Scenario("broken", build=nested_build))') in lines
+    assert line_of("factories_bad.py", "return lambda: (name, n, seed)") in lines
+    assert line_of("factories_bad.py", "return build") in lines
+    # module-level callables and partials of them stay clean
+    assert line_of("factories_bad.py", 'Scenario("fine", build=module_level_build)') not in lines
+    assert line_of("factories_bad.py", "partial(module_level_build, 8)") not in lines
+    assert line_of("factories_bad.py", "allow[REP201]") in rule_lines(suppressed, "REP201")
+
+
+# ----------------------------------------------------------------------
+# engine contracts
+# ----------------------------------------------------------------------
+
+
+def test_rep301_requires_supports_and_to_nodes():
+    active, suppressed = lint_fixture("kernel_contract.py")
+    lines = rule_lines(active, "REP301")
+    missing_both = line_of("kernel_contract.py", "class MissingBothKernel")
+    missing_to_nodes = line_of("kernel_contract.py", "class MissingToNodesKernel")
+    assert missing_both in lines
+    assert missing_to_nodes in lines
+    messages = [f.message for f in active if f.rule == "REP301"]
+    assert sum(1 for f in active if f.rule == "REP301" and f.line == missing_both) == 2
+    assert any("to_nodes" in m for m in messages)
+    # complete and same-module-inheriting kernels pass
+    assert line_of("kernel_contract.py", "class CompleteKernel") not in lines
+    assert line_of("kernel_contract.py", "class InheritedKernel") not in lines
+    waived = line_of("kernel_contract.py", "class WaivedKernel")
+    assert waived not in lines
+    assert waived in rule_lines(suppressed, "REP301")
+
+
+def test_rep302_bans_per_node_objects_outside_to_nodes():
+    active, suppressed = lint_fixture("kernels.py")
+    lines = rule_lines(active, "REP302")
+    assert line_of("kernels.py", "space = Subspace()") in lines
+    # to_nodes materialisation is the sanctioned home for scalar objects
+    assert line_of("kernels.py", "node.space = Subspace()") not in lines
+    assert line_of("kernels.py", "node.message = Message()") not in lines
+    assert line_of("kernels.py", "allow[REP302]") in rule_lines(suppressed, "REP302")
+
+
+def test_rep302_only_in_kernel_modules():
+    source = (FIXTURES / "kernels.py").read_text()
+    active, _ = lint_source(FIXTURES / "not_a_kernel.py", source, CONFIG, category="src")
+    assert not rule_lines(active, "REP302")
+
+
+def test_rep303_rejects_batch_import_in_algorithms():
+    path = FIXTURES / "algorithms" / "coded.py"
+    active, _ = lint_source(path, path.read_text(), CONFIG, category="src")
+    lines = rule_lines(active, "REP303")
+    assert len(lines) == 2  # the import and the instantiation
+    # identical code outside algorithms/ is fine
+    outside, _ = lint_source(
+        FIXTURES / "coded.py", path.read_text(), CONFIG, category="src"
+    )
+    assert not rule_lines(outside, "REP303")
+
+
+# ----------------------------------------------------------------------
+# hot-path hygiene
+# ----------------------------------------------------------------------
+
+
+def test_rep401_fires_in_element_loops_not_round_loops():
+    active, suppressed = lint_fixture("kernels.py")
+    lines = rule_lines(active, "REP401")
+    assert line_of("kernels.py", "total += int(np.sum(rows[i]))") in lines
+    assert line_of("kernels.py", "int(np.sum(rows)) + round_index") not in lines
+    allowed = line_of("kernels.py", "allow[REP401]")
+    assert allowed not in lines
+    assert allowed in rule_lines(suppressed, "REP401")
+
+
+def test_rep402_flags_division_and_float_literals():
+    active, suppressed = lint_fixture("kernels.py")
+    lines = rule_lines(active, "REP402")
+    assert line_of("kernels.py", "return words / 2") in lines
+    assert line_of("kernels.py", "return words * 0.5") in lines
+    assert line_of("kernels.py", "return words // 2") not in lines
+    assert line_of("kernels.py", "allow[REP402]") in rule_lines(suppressed, "REP402")
+
+
+def test_rep403_fires_in_src_only():
+    active, suppressed = lint_fixture("asserts_bad.py")
+    lines = rule_lines(active, "REP403")
+    assert line_of("asserts_bad.py", "assert value is not None") in lines
+    allowed = line_of("asserts_bad.py", "allow[REP403] fixture")
+    assert allowed not in lines
+    assert allowed in rule_lines(suppressed, "REP403")
+    test_active, _ = lint_fixture("asserts_bad.py", category="test")
+    assert not rule_lines(test_active, "REP403"), "tests may assert freely"
+
+
+# ----------------------------------------------------------------------
+# directives (REP001) and engine behaviour
+# ----------------------------------------------------------------------
+
+
+def test_bad_directives_are_reported():
+    active, _ = lint_fixture("asserts_bad.py")
+    lines = rule_lines(active, "REP001")
+    no_reason = line_of("asserts_bad.py", "allow[REP403]", occurrence=1)
+    assert no_reason in lines
+    # a reason-less allow suppresses nothing: REP403 still fires there
+    assert no_reason in rule_lines(active, "REP403")
+    assert line_of("asserts_bad.py", "allow[REP999]") in lines
+    assert line_of("asserts_bad.py", "allowing everything forever") in lines
+
+
+def test_directive_text_inside_strings_is_ignored():
+    source = '"""docstring mentioning # repro: allow[REP403] syntax."""\n'
+    active, suppressed = lint_source(FIXTURES / "doc.py", source, CONFIG, category="src")
+    assert not active and not suppressed
+
+
+def test_syntax_error_becomes_rep000():
+    active, _ = lint_source(FIXTURES / "broken.py", "def broken(:\n", CONFIG, category="src")
+    assert [f.rule for f in active] == ["REP000"]
+
+
+def test_categorize():
+    assert categorize(Path("src/repro/gf/packed.py")) == "src"
+    assert categorize(Path("benchmarks/common.py")) == "bench"
+    assert categorize(Path("tests/test_lint.py")) == "test"
+
+
+def test_select_and_ignore():
+    path = FIXTURES / "determinism_bad.py"
+    source = path.read_text()
+    only_101 = LintConfig(root=FIXTURES, select=("REP101",))
+    active, _ = lint_source(path, source, only_101, category="src")
+    assert {f.rule for f in active} == {"REP101"}
+    by_slug = LintConfig(root=FIXTURES, select=("stdlib-random",))
+    active_slug, _ = lint_source(path, source, by_slug, category="src")
+    assert {f.rule for f in active_slug} == {"REP101"}
+    without = LintConfig(root=FIXTURES, ignore=("REP101", "REP102", "REP103"))
+    active2, _ = lint_source(path, source, without, category="src")
+    assert not active2
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+
+def test_baseline_roundtrip_and_line_shift(tmp_path):
+    target = tmp_path / "asserts_bad.py"
+    target.write_text((FIXTURES / "asserts_bad.py").read_text())
+    config = LintConfig(root=tmp_path, baseline=tmp_path / "baseline.json")
+    dirty = run_lint([target], config, category="src")
+    assert dirty.findings
+    run_lint([target], config, write_baseline=True, category="src")
+    clean = run_lint([target], config, category="src")
+    assert not clean.findings
+    assert len(clean.baselined) == len(dirty.findings)
+    # shifting every line down must not invalidate the fingerprints
+    target.write_text("# leading comment\n\n" + target.read_text())
+    shifted = run_lint([target], config, category="src")
+    assert not shifted.findings
+    # but a *new* violation is not covered
+    target.write_text(target.read_text() + "\n\ndef fresh(v):\n    assert v\n    return v\n")
+    fresh = run_lint([target], config, category="src")
+    assert [f.rule for f in fresh.findings] == ["REP403"]
+    assert "assert v" in fresh.findings[0].line_text
+
+
+def test_baseline_preserves_reasons_on_rewrite(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("def f(v):\n    assert v\n    return v\n")
+    config = LintConfig(root=tmp_path, baseline=tmp_path / "baseline.json")
+    run_lint([target], config, write_baseline=True, category="src")
+    data = json.loads((tmp_path / "baseline.json").read_text())
+    data["entries"][0]["reason"] = "because reasons"
+    (tmp_path / "baseline.json").write_text(json.dumps(data))
+    run_lint([target], config, write_baseline=True, category="src")
+    rewritten = json.loads((tmp_path / "baseline.json").read_text())
+    assert rewritten["entries"][0]["reason"] == "because reasons"
+
+
+def test_duplicate_lines_get_distinct_fingerprints(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("def f(a, b):\n    assert a\n    assert a\n    assert b\n")
+    config = LintConfig(root=tmp_path, baseline=tmp_path / "baseline.json")
+    dirty = run_lint([target], config, category="src")
+    assert len(dirty.findings) == 3
+    run_lint([target], config, write_baseline=True, category="src")
+    entries = json.loads((tmp_path / "baseline.json").read_text())["entries"]
+    assert len({e["fingerprint"] for e in entries}) == 3
+
+
+# ----------------------------------------------------------------------
+# config, reporters, CLI
+# ----------------------------------------------------------------------
+
+
+def test_load_config_reads_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-lint]\n"
+        'baseline = "custom-baseline.json"\n'
+        'ignore = ["REP403"]\n'
+        'kernel-modules = ["mykernels.py"]\n'
+        'exclude = ["generated/**"]\n'
+    )
+    config = load_config(tmp_path)
+    assert config.root == tmp_path
+    assert config.baseline == tmp_path / "custom-baseline.json"
+    assert config.ignore == ("REP403",)
+    assert config.kernel_modules == ("mykernels.py",)
+    assert config.exclude == ("generated/**",)
+
+
+def test_repo_pyproject_configures_the_gate():
+    config = load_config(REPO_ROOT)
+    assert config.baseline == REPO_ROOT / "lint-baseline.json"
+    assert "coded_kernels.py" in config.kernel_modules
+    assert "packed.py" in config.packed_modules
+
+
+def test_json_report_shape(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("def f(v):\n    assert v\n    return v\n")
+    result = run_lint([target], LintConfig(root=tmp_path), category="src")
+    payload = to_json(result)
+    assert payload["exit_code"] == 1
+    assert payload["counts_by_rule"] == {"REP403": 1}
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "REP403"
+    assert finding["line"] == 2
+
+
+def test_cli_exit_codes_and_output(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f():\n    return 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(v):\n    assert v\n    return v\n")
+
+    assert lint_main([str(clean), "--no-config"]) == 0
+    report = tmp_path / "report.json"
+    assert lint_main([str(dirty), "--no-config", "--output", str(report)]) == 1
+    capsys.readouterr()
+    payload = json.loads(report.read_text())
+    assert payload["counts_by_rule"] == {"REP403": 1}
+
+    assert lint_main([str(dirty), "--no-config", "--ignore", "REP403"]) == 0
+    assert lint_main(["does-not-exist", "--no-config"]) == 2
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "REP403" in out
+
+    # baseline flow through the CLI
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(dirty), "--no-config", "--write-baseline"]) == 2
+    assert (
+        lint_main([str(dirty), "--no-config", "--baseline", str(baseline), "--write-baseline"])
+        == 0
+    )
+    assert lint_main([str(dirty), "--no-config", "--baseline", str(baseline)]) == 0
+
+
+def test_cli_json_format(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(v):\n    assert v\n    return v\n")
+    assert lint_main([str(dirty), "--no-config", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 1
+
+
+# ----------------------------------------------------------------------
+# the gate itself
+# ----------------------------------------------------------------------
+
+
+def test_repository_tree_lints_clean():
+    """The CI gate, enforced from tier-1 as well: src + benchmarks are clean."""
+    config = load_config(REPO_ROOT)
+    result = run_lint([REPO_ROOT / "src", REPO_ROOT / "benchmarks"], config)
+    assert result.findings == []
+    assert result.files_checked > 50
+
+
+def test_injected_seedless_rng_fails_the_gate(tmp_path):
+    """The acceptance scenario: a seedless default_rng() in kernels.py trips CI."""
+    real = (REPO_ROOT / "src" / "repro" / "simulation" / "kernels.py").read_text()
+    target = tmp_path / "kernels.py"
+    target.write_text(real)
+    config = load_config(REPO_ROOT)
+    before = lint_source(target, real, config, category="src")[0]
+    assert not before
+    injected = real + "\n_UNSEEDED = np.random.default_rng()\n"
+    target.write_text(injected)
+    after = lint_source(target, injected, config, category="src")[0]
+    assert [f.rule for f in after] == ["REP102"]
+    assert after[0].line == len(injected.splitlines())
