@@ -1,0 +1,104 @@
+"""Scenario: coded gossip on a hostile network — loss and Byzantine senders.
+
+The paper's protocols assume honest nodes and reliable (if adversarially
+*chosen*) links.  This example stresses the indexed-broadcast network
+coding algorithm on the orthogonal fault axis instead: every edge drops a
+delivery with probability 0.2, and two nodes turn Byzantine, replacing
+their coded wire traffic with adversarial GF(2) vectors.  Receivers verify
+incoming vectors against the source span (the homomorphic-signature model
+of the network-coding literature): malformed vectors are provably forged
+and discarded, replayed in-span vectors verify but are almost never
+innovative — either way the protocol keeps its dissemination guarantee and
+pays only in rounds.
+
+The Byzantine nodes sit at the two highest uids, which hold no tokens
+under the standard placement, so the honest population still owns every
+token and completion stays reachable.
+
+Run with:  python examples/hostile_gossip.py
+"""
+
+from __future__ import annotations
+
+from repro import IndexedBroadcastNode, MessageBudget, ProtocolConfig, run_dissemination
+from repro.network import FaultModel
+from repro.scenarios import SCENARIOS, make_scenario
+from repro.simulation import format_table, standard_instance
+
+N = 32
+K = N - 2  # tokens live at uids 0..29; uids 30, 31 are payload-free
+TOKEN_BITS = 16
+
+
+def _describe(model: FaultModel | None) -> str:
+    if model is None:
+        return "benign"
+    axes = []
+    if model.loss:
+        axes.append(f"{model.loss:.0%} loss")
+    if model.byzantine:
+        axes.append(f"{len(model.byzantine)} byzantine ({model.byzantine_mode})")
+    return " + ".join(axes)
+
+
+def main() -> None:
+    scenario = SCENARIOS["edge_markov"]
+    print(f"scenario {scenario.name!r}: {scenario.description}")
+    print(f"{N} nodes, {K} tokens of {TOKEN_BITS} bits, indexed broadcast\n")
+
+    config = ProtocolConfig(
+        n=N, k=K, token_bits=TOKEN_BITS, budget=MessageBudget(b=max(64, N + 16))
+    )
+    placement = standard_instance(N, K, TOKEN_BITS, seed=7)
+    byzantine = (N - 2, N - 1)
+    setups = [
+        None,
+        FaultModel(loss=0.2),
+        FaultModel(byzantine=byzantine, byzantine_mode="malformed"),
+        FaultModel(loss=0.2, byzantine=byzantine, byzantine_mode="malformed"),
+        FaultModel(loss=0.2, byzantine=byzantine, byzantine_mode="replay"),
+    ]
+
+    rows = []
+    benign_rounds = None
+    for model in setups:
+        result = run_dissemination(
+            IndexedBroadcastNode,
+            config,
+            placement,
+            make_scenario("edge_markov", N, seed=3),
+            seed=1,
+            faults=model,
+            max_rounds=40 * N,
+            track_progress=True,
+        )
+        metrics = result.metrics
+        if model is None:
+            rounds = metrics.completion_round
+            benign_rounds = rounds
+            rate = 1.0 if result.completed else 0.0
+        else:
+            rounds = metrics.survivor_completion_round
+            rate = metrics.surviving_completion_rate
+        rows.append(
+            {
+                "faults": _describe(model),
+                "completion rate": f"{rate:.0%}",
+                "rounds": rounds if rounds is not None else f">{40 * N}",
+                "slowdown": (
+                    round(rounds / benign_rounds, 2)
+                    if rounds is not None and benign_rounds
+                    else "-"
+                ),
+                "dropped": metrics.dropped_deliveries,
+                "corrupted": metrics.corrupted_deliveries,
+            }
+        )
+    print(format_table(rows, title="Indexed broadcast under hostile-network faults"))
+    print("\nMalformed Byzantine vectors are discarded by span verification and only")
+    print("cost wasted deliveries; 20% loss merely stretches the schedule. Coded")
+    print("gossip degrades gracefully — completion survives every fault mix above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -415,6 +415,16 @@ class ChurnProcess(DynamicsProcess):
     ``record_activity`` the per-round activity masks are kept in
     :attr:`activity_history` for analysis and the churn-bound property
     tests.
+
+    With ``lifeline=False`` a departure is *permanent*: a down node is
+    never toggled back up, modelling a true crash rather than churn.  This
+    deliberately deviates from the paper's model (a fixed node set with
+    every round graph connected over all ``n`` nodes — permanently absent
+    nodes make that unsatisfiable), so lifeline-free schedules are not fed
+    to the engines as topologies; they exist to *derive* crash schedules
+    for the fault axis (:func:`~repro.network.faults.crash_schedule_from_churn`),
+    where the topology keeps its repair edges and the crash semantics live
+    in the delivery layer instead.
     """
 
     def __init__(
@@ -424,6 +434,7 @@ class ChurnProcess(DynamicsProcess):
         min_active: int = 2,
         seed: int = 0,
         record_activity: bool = False,
+        lifeline: bool = True,
     ):
         super().__init__(inner.n)
         if max_churn < 0:
@@ -435,6 +446,7 @@ class ChurnProcess(DynamicsProcess):
         self.min_active = int(min_active)
         self.seed = seed
         self.record_activity = bool(record_activity)
+        self.lifeline = bool(lifeline)
         self.activity_history: list[np.ndarray] = []
         self.reset()
 
@@ -461,7 +473,7 @@ class ChurnProcess(DynamicsProcess):
                     if active[uid]:
                         if int(active.sum()) > self.min_active:
                             active[uid] = False
-                    else:
+                    elif self.lifeline:
                         active[uid] = True
             if self.record_activity:
                 self.activity_history.append(active.copy())

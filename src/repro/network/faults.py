@@ -1,0 +1,367 @@
+"""Composable fault injection for the dissemination engines.
+
+The adversary axis controls *topology*; this module adds the orthogonal
+*fault* axis the gossip literature stress-tests against:
+
+* **loss** — per-edge Bernoulli erasure of one round's (sender, receiver)
+  delivery (a unicast erasure / collision model, not a sender failure: the
+  same broadcast can reach some neighbours and miss others);
+* **duplication** — per-edge Bernoulli repetition: the receiver processes
+  the same message twice that round (re-broadcast echo);
+* **crashes** — per-node permanent radio death from a scheduled round on:
+  a crashed node neither transmits nor receives, and — unlike the
+  lifeline-repaired churn of :class:`~repro.network.dynamics.ChurnProcess`
+  — it never re-attaches;
+* **Byzantine coded senders** — nodes whose coded wire traffic is replaced
+  by adversarial GF(2) vectors: ``"malformed"`` vectors lie outside the
+  source span (receivers verify against a :class:`SpanGuard` — the
+  homomorphic-signature model — and discard them), ``"replay"`` re-sends a
+  fixed in-span source vector (it verifies, so receivers insert it; it is
+  simply almost never innovative).
+
+A :class:`FaultModel` is a frozen, picklable description.  The runner binds
+it once per run (:meth:`FaultModel.bind`) against a dedicated spawned rng
+stream, and each round proceeds through a :class:`RoundFaultPlan`:
+
+1. ``begin_round`` — draws the Byzantine wire vectors (topology-independent,
+   ascending uid) and snapshots which nodes are down;
+2. ``bind_edges`` — draws per-edge loss/duplication over the round's
+   canonical CSR adjacency and edits it into the *effective* CSR: crashed
+   endpoints and lost edges removed, duplicated edges repeated adjacently.
+
+All three engines consume the same effective CSR (and the identical draw
+order), which is what keeps faulted :class:`~repro.simulation.metrics.RunMetrics`
+byte-identical across kernel / mask / legacy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gf import GF2Basis
+
+__all__ = [
+    "BoundFaults",
+    "FaultModel",
+    "RoundFaultPlan",
+    "RoundFaultStats",
+    "SpanGuard",
+    "crash_schedule_from_churn",
+]
+
+_BYZANTINE_MODES = ("malformed", "replay")
+_NEVER = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Declarative description of one run's fault injection.
+
+    Attributes
+    ----------
+    loss:
+        Per-edge Bernoulli erasure probability in ``[0, 1]``.
+    duplication:
+        Per-edge Bernoulli duplication probability in ``[0, 1]`` (an
+        affected delivery is processed twice that round).
+    crashes:
+        ``(uid, first_dead_round)`` pairs: node ``uid`` is silent and deaf
+        from round index ``first_dead_round`` on, permanently.
+    byzantine:
+        Node uids whose coded wire traffic is adversarially substituted.
+        Protocols without a verifiable static generation (the forwarding
+        family) treat Byzantine traffic as unverifiable and discard it.
+    byzantine_mode:
+        ``"malformed"`` (out-of-span vectors, rejected by the span guard)
+        or ``"replay"`` (a fixed in-span source vector, accepted but almost
+        never innovative).
+
+    The model is frozen and built from plain data, so scenario fault
+    factories pickle into sweep workers (REP201).
+    """
+
+    loss: float = 0.0
+    duplication: float = 0.0
+    crashes: tuple[tuple[int, int], ...] = ()
+    byzantine: tuple[int, ...] = ()
+    byzantine_mode: str = "malformed"
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {self.loss}")
+        if not 0.0 <= self.duplication <= 1.0:
+            raise ValueError(f"duplication must be in [0, 1], got {self.duplication}")
+        if self.byzantine_mode not in _BYZANTINE_MODES:
+            raise ValueError(
+                f"byzantine_mode must be one of {_BYZANTINE_MODES}, "
+                f"got {self.byzantine_mode!r}"
+            )
+        crashes = tuple(sorted((int(uid), int(r)) for uid, r in self.crashes))
+        seen = set()
+        for uid, first_dead in crashes:
+            if uid < 0:
+                raise ValueError(f"crash uid must be >= 0, got {uid}")
+            if first_dead < 0:
+                raise ValueError(f"crash round must be >= 0, got {first_dead}")
+            if uid in seen:
+                raise ValueError(f"duplicate crash entry for node {uid}")
+            seen.add(uid)
+        byzantine = tuple(sorted(int(uid) for uid in self.byzantine))
+        if len(set(byzantine)) != len(byzantine):
+            raise ValueError("duplicate Byzantine uids")
+        if byzantine and byzantine[0] < 0:
+            raise ValueError("Byzantine uids must be >= 0")
+        overlap = seen & set(byzantine)
+        if overlap:
+            raise ValueError(
+                f"nodes cannot be both crashed and Byzantine: {sorted(overlap)}"
+            )
+        object.__setattr__(self, "crashes", crashes)
+        object.__setattr__(self, "byzantine", byzantine)
+
+    @property
+    def active(self) -> bool:
+        """Whether this model injects any fault at all."""
+        return bool(
+            self.loss or self.duplication or self.crashes or self.byzantine
+        )
+
+    def bind(self, n: int, rng: np.random.Generator) -> "BoundFaults":
+        """Bind the model to a network size and a dedicated rng stream."""
+        return BoundFaults(self, n, rng)
+
+
+class SpanGuard:
+    """Receiver-side verification oracle for coded wire traffic.
+
+    Models homomorphic-signature verification: any GF(2) vector inside the
+    span of the instance's source vectors verifies, anything outside is
+    provably forged and discarded before it can touch the receiver's basis
+    (so malformed vectors can never raise a ``GF2BasisBatch`` rank past the
+    source span).
+    """
+
+    def __init__(self, length: int, source_masks):
+        if length <= 0:
+            raise ValueError(f"vector length must be positive, got {length}")
+        self.length = int(length)
+        self._basis = GF2Basis(self.length)
+        self._first = 0
+        for mask in source_masks:
+            mask = int(mask)
+            if mask and not self._first:
+                self._first = mask
+            self._basis.insert(mask)
+        if not self._first:
+            raise ValueError("SpanGuard needs at least one non-zero source vector")
+
+    @property
+    def rank(self) -> int:
+        return self._basis.rank
+
+    @property
+    def replay_mask(self) -> int:
+        """The fixed in-span vector Byzantine replay senders transmit."""
+        return self._first
+
+    def contains(self, mask: int) -> bool:
+        """Whether ``mask`` verifies (lies inside the source span)."""
+        return self._basis.contains(mask)
+
+    def sample_outside(self, rng: np.random.Generator) -> int:
+        """Rejection-sample a vector provably outside the source span."""
+        if self._basis.rank >= self.length:
+            raise ValueError(
+                "the source span covers the whole space; no malformed vector exists"
+            )
+        nbytes = (self.length + 7) // 8
+        top = (1 << self.length) - 1
+        while True:
+            mask = int.from_bytes(rng.bytes(nbytes), "little") & top
+            if not self._basis.contains(mask):
+                return mask
+
+
+@dataclass(frozen=True)
+class RoundFaultStats:
+    """One round's fault accounting (engine-invariant by construction)."""
+
+    dropped: int
+    duplicated: int
+    corrupted: int
+    discarded: int
+
+
+class BoundFaults:
+    """A :class:`FaultModel` bound to a run: size, rng stream, crash clock."""
+
+    def __init__(self, model: FaultModel, n: int, rng: np.random.Generator):
+        for uid, _ in model.crashes:
+            if uid >= n:
+                raise ValueError(f"crash uid {uid} out of range for n={n}")
+        for uid in model.byzantine:
+            if uid >= n:
+                raise ValueError(f"Byzantine uid {uid} out of range for n={n}")
+        self.model = model
+        self.n = int(n)
+        self.rng = rng
+        self.crash_round = np.full(n, _NEVER, dtype=np.int64)
+        for uid, first_dead in model.crashes:
+            self.crash_round[uid] = first_dead
+        self.byz = np.zeros(n, dtype=bool)
+        if model.byzantine:
+            self.byz[list(model.byzantine)] = True
+        #: Nodes never scheduled to crash — the population completion and
+        #: correctness are measured over (Byzantine nodes *are* survivors:
+        #: their receive path is honest).
+        self.survivor_indices = np.flatnonzero(self.crash_round == _NEVER)
+        self.guard: SpanGuard | None = None
+
+    @property
+    def wants_guard(self) -> bool:
+        """Whether Byzantine faults need a span guard attached."""
+        return bool(self.model.byzantine)
+
+    def attach_guard(self, guard: SpanGuard | None) -> None:
+        """Attach the protocol's span guard (None: Byzantine traffic is
+        unverifiable for this protocol and always discarded)."""
+        self.guard = guard
+
+    def begin_round(self, round_index: int) -> "RoundFaultPlan":
+        """Start one round: crash snapshot plus Byzantine wire draws.
+
+        The Byzantine draws happen here — before the adversary sees any
+        message and before the topology exists — in ascending uid order, so
+        the rng stream is identical across engines and independent of the
+        round's graph.
+        """
+        down = np.asarray(self.crash_round <= round_index)
+        wires: dict[int, int] = {}
+        guard = self.guard
+        if guard is not None:
+            if self.model.byzantine_mode == "replay":
+                for uid in self.model.byzantine:
+                    wires[uid] = guard.replay_mask
+            else:
+                for uid in self.model.byzantine:
+                    wires[uid] = guard.sample_outside(self.rng)
+        return RoundFaultPlan(self, down, wires)
+
+
+class RoundFaultPlan:
+    """One round's bound fault draws and the effective-CSR editor."""
+
+    def __init__(self, bound: BoundFaults, down: np.ndarray, wires: dict[int, int]):
+        self.bound = bound
+        self.down = down
+        #: Byzantine uid -> wire vector drawn/fixed for this round.
+        self.wire_vectors = wires
+        #: Non-empty only in replay mode with a guard: the substituted
+        #: traffic verifies, so it must actually flow to receivers.
+        self.substitute = (
+            wires if bound.model.byzantine_mode == "replay" else {}
+        )
+        self._senders: np.ndarray | None = None
+        self._lost: np.ndarray | None = None
+        self._extra: np.ndarray | None = None
+        self._viable: np.ndarray | None = None
+        self._rejected: np.ndarray | None = None
+
+    def bind_edges(
+        self, indices: np.ndarray, indptr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw per-edge faults over the canonical CSR; return the effective CSR.
+
+        The effective CSR removes edges with a crashed endpoint, removes
+        lost edges and discarded (malformed-Byzantine) edges, and repeats
+        duplicated edges adjacently — per-receiver segments stay in the
+        engines' canonical ascending-sender order with duplicates adjacent.
+        Loss is drawn before duplication, each only when its probability is
+        non-zero, so benign axes consume no rng.
+        """
+        model = self.bound.model
+        rng = self.bound.rng
+        n = self.bound.n
+        edges = indices.size
+        senders = indices
+        receivers = np.repeat(np.arange(n), np.diff(indptr))
+        lost = (
+            rng.random(edges) < model.loss
+            if model.loss > 0.0
+            else np.zeros(edges, dtype=bool)
+        )
+        extra = (
+            rng.random(edges) < model.duplication
+            if model.duplication > 0.0
+            else np.zeros(edges, dtype=bool)
+        )
+        viable = ~self.down[senders] & ~self.down[receivers]
+        byz_edge = self.bound.byz[senders]
+        if self.substitute:
+            rejected = np.zeros(edges, dtype=bool)
+        else:
+            # Malformed mode, or no span guard for this protocol: every
+            # Byzantine copy is discarded at the receiver.
+            rejected = byz_edge
+        copies = np.where(
+            viable & ~lost & ~rejected, 1 + extra.astype(np.int64), 0
+        )
+        eff_indices = np.repeat(senders, copies)
+        cumulative = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(copies, dtype=np.int64))
+        )
+        eff_indptr = cumulative[indptr]
+        self._senders = senders
+        self._lost = lost
+        self._extra = extra
+        self._viable = viable
+        self._rejected = rejected
+        self._byz_edge = byz_edge
+        return eff_indices, eff_indptr
+
+    def account(self, sending: np.ndarray) -> RoundFaultStats:
+        """Per-round fault counters, given which nodes actually broadcast.
+
+        ``sending`` must already exclude down nodes.  A transmission toward
+        a crashed receiver is counted nowhere (the radio it would reach is
+        off); faults only score against deliveries that would otherwise
+        have happened.
+        """
+        if self._senders is None:
+            raise RuntimeError("bind_edges must run before account")
+        live = sending[self._senders] & self._viable
+        dropped = int(np.count_nonzero(self._lost & live))
+        surviving = ~self._lost & live
+        duplicated = int(np.count_nonzero(self._extra & surviving))
+        copies = 1 + self._extra.astype(np.int64)
+        corrupted = int(copies[surviving & self._byz_edge].sum())
+        discarded = int(copies[surviving & self._rejected].sum())
+        return RoundFaultStats(
+            dropped=dropped,
+            duplicated=duplicated,
+            corrupted=corrupted,
+            discarded=discarded,
+        )
+
+
+def crash_schedule_from_churn(churn, rounds: int) -> tuple[tuple[int, int], ...]:
+    """Derive a permanent crash schedule from a churn replay.
+
+    Replays ``rounds`` rounds of a :class:`~repro.network.dynamics.ChurnProcess`
+    built with ``record_activity=True`` (and, for true-crash semantics,
+    ``lifeline=False``) and returns each departed node's first inactive
+    round as a ``FaultModel.crashes`` schedule.  The process is reset before
+    and after the replay, so the caller can still hand it to an engine.
+    """
+    if not getattr(churn, "record_activity", False):
+        raise ValueError("crash_schedule_from_churn needs record_activity=True")
+    churn.reset()
+    churn.next_batch(rounds)
+    first_dead: dict[int, int] = {}
+    for round_index, active in enumerate(churn.activity_history[:rounds]):
+        for uid in np.flatnonzero(~np.asarray(active)).tolist():
+            first_dead.setdefault(int(uid), round_index)
+    churn.reset()
+    return tuple(sorted(first_dead.items()))

@@ -21,6 +21,8 @@ with :func:`register_scenario`.
 from .catalog import (
     SCENARIOS,
     Scenario,
+    fault_model_for,
+    hostile_scenarios,
     list_scenarios,
     make_scenario,
     register_scenario,
@@ -30,6 +32,8 @@ from .catalog import (
 __all__ = [
     "SCENARIOS",
     "Scenario",
+    "fault_model_for",
+    "hostile_scenarios",
     "list_scenarios",
     "make_scenario",
     "register_scenario",

@@ -28,10 +28,13 @@ from ..network.dynamics import (
     ScheduleAdversary,
     TIntervalEnforcer,
 )
+from ..network.faults import FaultModel, crash_schedule_from_churn
 
 __all__ = [
     "SCENARIOS",
     "Scenario",
+    "fault_model_for",
+    "hostile_scenarios",
     "list_scenarios",
     "make_scenario",
     "register_scenario",
@@ -62,6 +65,11 @@ class Scenario:
     kernel_ok:
         False only for scenarios that demand per-node message objects
         (omniscient adversaries) — those cannot run on the kernel engine.
+    faults:
+        The hostile axis: ``(n, seed) -> FaultModel``, or ``None`` for a
+        benign entry.  Like ``build``, must be a module-level callable so
+        scenario factories pickle into sweep workers; pass the result to
+        ``run_dissemination(..., faults=...)``.
     """
 
     name: str
@@ -70,6 +78,7 @@ class Scenario:
     process: str
     guarantees: tuple[str, ...]
     kernel_ok: bool = True
+    faults: Callable[[int, int], FaultModel] | None = None
 
 
 SCENARIOS: dict[str, Scenario] = {}
@@ -110,6 +119,29 @@ def scenario_for(name: str, n: int, seed: int = 0) -> Callable[[], Adversary]:
     if name not in SCENARIOS:
         raise ValueError(f"unknown scenario {name!r}; choose from {list_scenarios()}")
     return partial(make_scenario, name, n, seed)
+
+
+def fault_model_for(name: str, n: int, seed: int = 0) -> FaultModel | None:
+    """The named scenario's fault model at size ``n`` (None: benign entry).
+
+    A :class:`~repro.network.faults.FaultModel` is itself frozen plain
+    data, so the returned object pickles into sweep workers directly — no
+    factory indirection needed on the caller's side.
+    """
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {list_scenarios()}"
+        ) from exc
+    if scenario.faults is None:
+        return None
+    return scenario.faults(n, seed)
+
+
+def hostile_scenarios() -> list[str]:
+    """Names of the catalog entries that carry a fault model, sorted."""
+    return sorted(name for name, s in SCENARIOS.items() if s.faults is not None)
 
 
 # ----------------------------------------------------------------------
@@ -180,6 +212,61 @@ def _build_rewiring_t8(n: int, seed: int) -> Adversary:
         n, degree_bound=4, rewires_per_round=max(1, n // 32), seed=seed
     )
     return ScheduleAdversary(TIntervalEnforcer(process, 8))
+
+
+# ----------------------------------------------------------------------
+# fault-model builders (module-level: like `build`, they must pickle)
+# ----------------------------------------------------------------------
+#
+# Byzantine entries place the compromised senders at the two highest uids:
+# `standard_instance(n, k, ...)` with k <= n - 2 keeps them payload-free, so
+# survivor completion stays reachable (a Byzantine node holding the *only*
+# copy of a token can starve the network by construction — that regime is
+# still measurable through surviving_completion_rate < 1).
+
+
+def _crash_schedule(n: int, seed: int, exclude: tuple[int, ...] = ()) -> tuple:
+    """A permanent-crash schedule replayed from lifeline-free churn."""
+    churn = ChurnProcess(
+        _edge_markov_process(n, seed + 7),
+        max_churn=1,
+        min_active=max(2, (3 * n) // 4),
+        seed=seed + 211,
+        record_activity=True,
+        lifeline=False,
+    )
+    schedule = crash_schedule_from_churn(churn, rounds=2 * n)
+    return tuple((uid, r) for uid, r in schedule if uid not in exclude)
+
+
+def _loss20_faults(n: int, seed: int) -> FaultModel:
+    return FaultModel(loss=0.2)
+
+
+def _loss_dup_faults(n: int, seed: int) -> FaultModel:
+    return FaultModel(loss=0.15, duplication=0.15)
+
+
+def _crash_churn_faults(n: int, seed: int) -> FaultModel:
+    return FaultModel(crashes=_crash_schedule(n, seed))
+
+
+def _byzantine_malformed_faults(n: int, seed: int) -> FaultModel:
+    return FaultModel(byzantine=(n - 2, n - 1), byzantine_mode="malformed")
+
+
+def _byzantine_replay_faults(n: int, seed: int) -> FaultModel:
+    return FaultModel(byzantine=(n - 2, n - 1), byzantine_mode="replay")
+
+
+def _hostile_mix_faults(n: int, seed: int) -> FaultModel:
+    return FaultModel(
+        loss=0.1,
+        duplication=0.05,
+        crashes=_crash_schedule(n, seed, exclude=(n - 1,)),
+        byzantine=(n - 1,),
+        byzantine_mode="malformed",
+    )
 
 
 register_scenario(
@@ -258,5 +345,85 @@ register_scenario(
         build=_build_rewiring_t8,
         process="rewiring",
         guarantees=("connected", "8-interval-connected", "degree<=4 raw"),
+    )
+)
+
+# ----------------------------------------------------------------------
+# hostile entries: benign topology dynamics + an orthogonal fault model.
+# The topology keeps its connectivity repairs (the paper's model needs
+# every round graph connected over all n nodes); crashes, loss and
+# Byzantine substitution live in the delivery layer via `faults`.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    Scenario(
+        name="lossy_edge_markov",
+        description="edge-Markov evolution with 20% per-edge delivery erasure",
+        build=_build_edge_markov,
+        process="edge-markov",
+        guarantees=("connected",),
+        faults=_loss20_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="lossy_dup_waypoint",
+        description="waypoint radio with 15% loss and 15% duplication per edge",
+        build=_build_waypoint_radio,
+        process="waypoint",
+        guarantees=("connected",),
+        faults=_loss_dup_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="crash_churn_markov",
+        description=(
+            "edge-Markov evolution where churned-out nodes truly crash "
+            "(lifeline-free schedule, >=3n/4 survivors)"
+        ),
+        build=_build_edge_markov,
+        process="churn",
+        guarantees=("connected", "crashes permanent"),
+        faults=_crash_churn_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="byzantine_edge_markov",
+        description=(
+            "edge-Markov evolution with 2 Byzantine coded senders injecting "
+            "out-of-span (malformed) vectors"
+        ),
+        build=_build_edge_markov,
+        process="edge-markov",
+        guarantees=("connected",),
+        faults=_byzantine_malformed_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="byzantine_replay_t4",
+        description=(
+            "4-interval-repaired edge-Markov evolution with 2 Byzantine senders "
+            "replaying a fixed in-span vector"
+        ),
+        build=_build_edge_markov_t4,
+        process="edge-markov",
+        guarantees=("connected", "4-interval-connected"),
+        faults=_byzantine_replay_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="hostile_mix",
+        description=(
+            "waypoint radio under 10% loss + 5% duplication + permanent crashes "
+            "+ 1 malformed Byzantine sender"
+        ),
+        build=_build_waypoint_radio,
+        process="waypoint",
+        guarantees=("connected", "crashes permanent"),
+        faults=_hostile_mix_faults,
     )
 )

@@ -136,6 +136,7 @@ class IndexedBroadcastKernel(RoundKernel):
     """
 
     message_name = "CodedMessage"
+    supports_message_views = True
 
     @classmethod
     def supports(cls, config) -> bool:
@@ -190,6 +191,8 @@ class IndexedBroadcastKernel(RoundKernel):
         )
         self._picks: np.ndarray | None = None
         self._send_active: np.ndarray | None = None
+        self._wire: np.ndarray | None = None
+        self._overrides: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def compose_all(self, round_index):
@@ -212,8 +215,29 @@ class IndexedBroadcastKernel(RoundKernel):
                 )
         self._picks = picks
         self._send_active = active
+        self._wire = None
+        self._overrides = {}
         sizes = np.where(active, self.message_bits, 0)
         return active, sizes
+
+    def set_wire_overrides(self, overrides):
+        # Byzantine replay: listed senders' wire vectors are substituted for
+        # this round; both deliver_all and the message views read them.
+        self._overrides = dict(overrides)
+        self._wire = None
+
+    def _wire_rows(self) -> np.ndarray:
+        """The full combined wire matrix for this round (cached, overridden)."""
+        if self._wire is None:
+            combined = self.core.combine_sorted(self._picks)
+            for uid, mask in self._overrides.items():
+                combined[uid] = masks_to_packed([mask], self.core.words)[0]
+            self._wire = combined
+        return self._wire
+
+    def wire_message(self, uid, round_index):
+        mask = packed_to_masks(self._wire_rows()[uid : uid + 1])[0]
+        return self.nodes[uid].generation.message_from_mask(uid, mask)
 
     def deliver_all(self, round_index, indices, indptr, active, counts):
         innovative = np.zeros(self.n, dtype=bool)
@@ -225,11 +249,19 @@ class IndexedBroadcastKernel(RoundKernel):
             open_receiver = self.core.ranks[receivers] < self.gen_k
             receivers, senders = receivers[open_receiver], senders[open_receiver]
         if receivers.size:
-            needed = np.unique(senders)
-            # Subset combining pays a row gather; it only wins once most of
-            # the network is saturated and few senders still matter.
-            subset = needed if needed.size * 4 <= self.n else None
-            combined = self.core.combine_sorted(self._picks, subset)
+            if self._wire is not None:
+                # Message views (or an override pass) already materialised
+                # the full wire matrix; a subset combine of the same picks
+                # would be bit-identical, so reuse it.
+                combined = self._wire
+            else:
+                needed = np.unique(senders)
+                # Subset combining pays a row gather; it only wins once most
+                # of the network is saturated and few senders still matter.
+                subset = needed if needed.size * 4 <= self.n else None
+                combined = self.core.combine_sorted(self._picks, subset)
+                for uid, mask in self._overrides.items():
+                    combined[uid] = masks_to_packed([mask], self.core.words)[0]
             flags = self.core.insert_batch(receivers, combined[senders])
             innovative[receivers[flags]] = True
         # In-span traffic: the coefficient block's rank equals the full rank,
@@ -819,7 +851,11 @@ class GreedyForwardKernel(RoundKernel):
             else:
                 keys = self._elect_keys
                 if indices.size:
-                    inbox = np.maximum.reduceat(keys[indices], indptr[:-1])
+                    # Clamped starts keep reduceat in-bounds on the empty
+                    # segments a fault-edited CSR can contain; the
+                    # degree > 0 filter below already discards those rows.
+                    starts = np.minimum(indptr[:-1], indices.size - 1)
+                    inbox = np.maximum.reduceat(keys[indices], starts)
                     merge = np.flatnonzero(
                         ~self.exhausted & (np.diff(indptr) > 0) & (inbox >= 0)
                     )

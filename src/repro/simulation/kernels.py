@@ -69,7 +69,7 @@ from ..algorithms.token_forwarding import (
 )
 from ..network.adversary import Adversary, NodeStateView
 from ..network.topology import TopologyValidationCache, _iter_bits
-from ..tokens.message import MessageSizeExceeded
+from ..tokens.message import MessageSizeExceeded, TokenForwardMessage
 from ..tokens.token import TokenId, TokenPlacement
 from .metrics import RunMetrics
 
@@ -162,13 +162,20 @@ def _select_lowest_bits(
 def _neighbor_or(send: np.ndarray, indices: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     """Per-node OR of the neighbours' packed send rows (the propagation step).
 
-    One gather plus one ``reduceat``; a validated (connected, n >= 2)
-    topology has no empty neighbour segments, and the degenerate n == 1
-    case has no edges at all.
+    One gather plus one ``reduceat``.  A validated (connected, n >= 2)
+    topology has no empty neighbour segments, but the *effective* CSR a
+    fault plan edits (crashed endpoints and lost edges removed) can leave
+    some — and ``reduceat`` returns a garbage element (or errors at the
+    array end) for an empty segment, so those rows are zeroed explicitly.
     """
     if indices.size == 0:
         return np.zeros_like(send)
-    return np.bitwise_or.reduceat(send[indices], indptr[:-1], axis=0)
+    starts = np.minimum(indptr[:-1], indices.size - 1)
+    inbox = np.bitwise_or.reduceat(send[indices], starts, axis=0)
+    empty = np.diff(indptr) == 0
+    if empty.any():
+        inbox[empty] = 0
+    return inbox
 
 
 class _KernelStateViews(_SequenceABC):
@@ -198,6 +205,39 @@ class _KernelStateViews(_SequenceABC):
         return self._kernel.state_view(index)
 
 
+class _KernelMessageViews(_SequenceABC):
+    """Lazy per-round message sequence for omniscient adversaries.
+
+    Built only when ``adversary.sees_messages`` and the kernel opts in via
+    ``supports_message_views``: each access materialises one node's wire
+    message object on demand (``None`` for silent nodes), so adversaries
+    that inspect a handful of messages cost a handful of constructions —
+    not n Message objects per round.
+    """
+
+    __slots__ = ("_kernel", "_round", "_active")
+
+    def __init__(self, kernel: "RoundKernel", round_index: int, active: np.ndarray):
+        self._kernel = kernel
+        self._round = round_index
+        self._active = active
+
+    def __len__(self) -> int:
+        return self._kernel.n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._kernel.n))]
+        n = self._kernel.n
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        if not self._active[index]:
+            return None
+        return self._kernel.wire_message(index, self._round)
+
+
 # ----------------------------------------------------------------------
 # the kernel contract and registry
 # ----------------------------------------------------------------------
@@ -217,6 +257,9 @@ class RoundKernel(abc.ABC):
     message_name = "Message"
     #: The node class this kernel implements (set by :func:`register_kernel`).
     node_class: type | None = None
+    #: Whether :meth:`wire_message` can materialise this round's per-node
+    #: message objects (keeps omniscient adversaries kernel-eligible).
+    supports_message_views = False
 
     def __init__(
         self,
@@ -295,6 +338,36 @@ class RoundKernel(abc.ABC):
         """Lazy sequence of this round's state views."""
         return _KernelStateViews(self)
 
+    def wire_message(self, uid: int, round_index: int):
+        """Materialise node ``uid``'s wire message for the *current* round.
+
+        Only called between ``compose_all`` and ``deliver_all``, only for
+        active nodes, and only when ``supports_message_views`` is True.
+        Must rebuild exactly the Message object the node class would have
+        composed (same content, same ordering), so omniscient adversaries
+        see identical messages on the kernel and object engines.
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} does not build per-node message views"
+        )
+
+    def message_views(self, round_index: int, active: np.ndarray) -> Sequence:
+        """Lazy sequence of this round's wire messages (None = silent)."""
+        return _KernelMessageViews(self, round_index, active)
+
+    def set_wire_overrides(self, overrides: Mapping[int, int]) -> None:
+        """Substitute listed senders' wire vectors for the current round.
+
+        The Byzantine-replay hook: ``overrides`` maps uid -> GF(2) vector
+        mask; every copy the node delivers this round (and its message
+        view) carries the substituted vector instead of the honest
+        composition.  Only coded kernels can represent this.
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} cannot substitute wire vectors; "
+            "rerun with engine='mask'"
+        )
+
     def to_nodes(self, nodes: Sequence[ProtocolNode]) -> None:
         """Write the terminal packed state back into the node objects."""
 
@@ -350,6 +423,7 @@ def run_kernel_rounds(
     stop_at_completion: bool,
     record_topologies: bool,
     track_progress: bool,
+    faults=None,
 ) -> list:
     """Execute rounds on a kernel; mirrors the mask engine's round semantics.
 
@@ -357,25 +431,49 @@ def run_kernel_rounds(
     validation -> ``compose_all`` -> vectorised budget/broadcast accounting
     -> CSR delivery (gather + ``reduceat``) -> vectorised useless-delivery
     and completion bookkeeping.  Returns the recorded topologies.
+
+    ``faults`` (a :class:`~repro.network.faults.BoundFaults`) edits the
+    round's CSR into its effective form — crashed endpoints and lost edges
+    removed, duplicated edges repeated — before delivery, and switches the
+    stop rule to *survivor* completion (population completion may be
+    unreachable once a token holder crashes).  Omniscient adversaries are
+    supported when the kernel opts in via ``supports_message_views``: the
+    round then composes first and hands the adversary a lazy message-view
+    sequence, exactly like the object engines.
     """
     n = config.n
     limit = config.budget.limit_bits
     cache = TopologyValidationCache()
     topologies: list = []
+    survivor_indices = faults.survivor_indices if faults is not None else None
 
     for round_index in range(max_rounds):
+        plan = faults.begin_round(round_index) if faults is not None else None
         states = kernel.state_views()
-        graph = adversary.choose_topology(round_index, n, states)
-        topology = cache.validated(graph, n)
+        if adversary.sees_messages:
+            # Omniscient order, as the object engines run it: compose first,
+            # then show the adversary the (lazily materialised) messages.
+            active, sizes = kernel.compose_all(round_index)
+            if plan is not None and plan.substitute:
+                kernel.set_wire_overrides(plan.substitute)
+            messages = kernel.message_views(round_index, active)
+            graph = adversary.choose_topology(round_index, n, states, messages)
+            topology = cache.validated(graph, n)
+        else:
+            graph = adversary.choose_topology(round_index, n, states)
+            topology = cache.validated(graph, n)
+            active, sizes = kernel.compose_all(round_index)
+            if plan is not None and plan.substitute:
+                kernel.set_wire_overrides(plan.substitute)
         if record_topologies:
             topologies.append(topology)
 
-        active, sizes = kernel.compose_all(round_index)
-
-        broadcasts = int(active.sum())
+        sending = active if plan is None else active & ~plan.down
+        broadcasts = int(sending.sum())
         metrics.silent_rounds += n - broadcasts
         if broadcasts:
-            max_bits = int(sizes.max())
+            sent_sizes = sizes if plan is None else np.where(sending, sizes, 0)
+            max_bits = int(sent_sizes.max())
             if max_bits > limit:
                 raise MessageSizeExceeded(
                     f"{kernel.message_name} is {max_bits} bits, exceeding the "
@@ -383,19 +481,35 @@ def run_kernel_rounds(
                     f"slack={config.budget.slack})"
                 )
             metrics.broadcasts += broadcasts
-            metrics.total_message_bits += int(sizes.sum())
+            metrics.total_message_bits += int(sent_sizes.sum())
             if max_bits > metrics.max_message_bits:
                 metrics.max_message_bits = max_bits
 
         indices, indptr = topology.csr_adjacency()
+        discarded = 0
+        if plan is not None:
+            indices, indptr = plan.bind_edges(indices, indptr)
+            stats = plan.account(sending)
+            metrics.dropped_deliveries += stats.dropped
+            metrics.duplicated_deliveries += stats.duplicated
+            metrics.corrupted_deliveries += stats.corrupted
+            discarded = stats.discarded
         if indices.size:
-            counts = np.add.reduceat(active[indices].astype(np.int64), indptr[:-1])
+            # cumsum differences instead of reduceat: identical integers,
+            # and safe on the empty segments an edited CSR can contain.
+            flows = np.concatenate(
+                (
+                    np.zeros(1, dtype=np.int64),
+                    np.cumsum(sending[indices], dtype=np.int64),
+                )
+            )
+            counts = flows[indptr[1:]] - flows[indptr[:-1]]
         else:
             counts = np.zeros(n, dtype=np.int64)
 
-        changed = kernel.deliver_all(round_index, indices, indptr, active, counts)
+        changed = kernel.deliver_all(round_index, indices, indptr, sending, counts)
 
-        metrics.deliveries += int(counts.sum())
+        metrics.deliveries += int(counts.sum()) + discarded
         useless = (counts > 0) & ~changed
         if useless.any():
             metrics.useless_deliveries += int(counts[useless].sum())
@@ -410,8 +524,16 @@ def run_kernel_rounds(
 
         if metrics.completion_round is None and kernel.all_complete():
             metrics.completion_round = round_index + 1
+        if faults is None:
+            done = metrics.completion_round is not None
+        else:
+            if metrics.survivor_completion_round is None:
+                known = kernel.known_counts()
+                if bool((known[survivor_indices] >= kernel.k).all()):
+                    metrics.survivor_completion_round = round_index + 1
+            done = metrics.survivor_completion_round is not None
 
-        if metrics.completion_round is not None:
+        if done:
             if stop_at_completion or kernel.finished_all():
                 break
 
@@ -497,6 +619,8 @@ class TokenForwardingKernel(_PackedKnowledgeKernel):
     of the node-level memoised ``compose``.
     """
 
+    supports_message_views = True
+
     def __init__(self, config, placement, token_index, nodes):
         super().__init__(config, placement, token_index, nodes)
         self.phase_length = config.extra_int("phase_length", config.n)
@@ -516,6 +640,14 @@ class TokenForwardingKernel(_PackedKnowledgeKernel):
             self._active[rows] = pending.any(axis=1)
             self._dirty[rows] = False
         return self._active, self._sizes
+
+    def wire_message(self, uid, round_index):
+        # The selection row's ascending bit order is exactly the node's
+        # sorted-pending prefix order.
+        return TokenForwardMessage(
+            sender=uid,
+            tokens=tuple(self.tokens[i] for i in _row_bits(self._send[uid])),
+        )
 
     def deliver_all(self, round_index, indices, indptr, active, counts):
         changed = self._absorb(indices, indptr)
@@ -557,16 +689,21 @@ class PipelinedTokenForwardingKernel(_PackedKnowledgeKernel):
     """
 
     _BIG = np.int64(1) << np.int64(62)
+    supports_message_views = True
 
     def __init__(self, config, placement, token_index, nodes):
         super().__init__(config, placement, token_index, nodes)
         self.send_counts = np.zeros((self.n, max(1, self.k)), dtype=np.int64)
         self._cols = np.arange(max(1, self.k), dtype=np.int64)
+        self._view_chosen: np.ndarray | None = None
+        self._view_valid: np.ndarray | None = None
 
     def compose_all(self, round_index):
         active = self.known.any(axis=1)
         self._send = np.zeros_like(self.known)
         sizes = np.zeros(self.n, dtype=np.int64)
+        self._view_chosen = None
+        self._view_valid = None
         if self.k == 0 or not active.any():
             return active, sizes
         known_bool = (
@@ -600,7 +737,22 @@ class PipelinedTokenForwardingKernel(_PackedKnowledgeKernel):
             (r, c >> 6),
             np.uint64(1) << (c & np.int64(63)).astype(np.uint64),
         )
+        self._view_chosen = chosen
+        self._view_valid = valid
         return active, sizes
+
+    def wire_message(self, uid, round_index):
+        # The node composes in (send_count, id) key order — exactly the
+        # key-sorted ``chosen`` row, NOT ascending id, so the view is
+        # rebuilt from the per-round selection arrays.
+        if self._view_chosen is None:
+            return TokenForwardMessage(sender=uid, tokens=())
+        row = self._view_chosen[uid]
+        keep = self._view_valid[uid]
+        return TokenForwardMessage(
+            sender=uid,
+            tokens=tuple(self.tokens[int(c)] for c, ok in zip(row, keep) if ok),
+        )
 
     def deliver_all(self, round_index, indices, indptr, active, counts):
         return self._absorb(indices, indptr)
@@ -642,6 +794,7 @@ class RandomForwardKernel(RoundKernel):
     """
 
     message_name = "TokenForwardMessage"
+    supports_message_views = True
 
     def __init__(self, config, placement, token_index, nodes):
         super().__init__(config, placement, token_index, nodes)
@@ -684,6 +837,17 @@ class RandomForwardKernel(RoundKernel):
             sizes[uid] = sum(costs[i] for i in chosen)
         self._chosen = chosen_lists
         return active, sizes
+
+    def wire_message(self, uid, round_index):
+        chosen = self._chosen[uid]
+        if chosen is None:
+            return None
+        # ``chosen`` preserves the node's pick order (insertion-order
+        # indexing plus the same rng.choice draw), so the message matches
+        # the object engines token-for-token.
+        return TokenForwardMessage(
+            sender=uid, tokens=tuple(self.tokens[i] for i in chosen)
+        )
 
     def deliver_all(self, round_index, indices, indptr, active, counts):
         changed = np.zeros(self.n, dtype=bool)

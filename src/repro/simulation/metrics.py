@@ -32,6 +32,24 @@ class RunMetrics:
         Deliveries that did not change the receiver's knowledge (a direct
         measure of the "wasted broadcasts" the paper's Section 5.2 discusses);
         only protocols that report knowledge growth make this meaningful.
+    dropped_deliveries:
+        Deliveries erased by per-edge loss faults (would have happened
+        otherwise: live sender, live receiver).
+    duplicated_deliveries:
+        Extra copies injected by per-edge duplication faults.
+    corrupted_deliveries:
+        Delivered copies whose content a Byzantine sender substituted
+        (counted whether the receiver's span guard discarded them or
+        accepted an in-span replay).
+    survivors:
+        Number of nodes never scheduled to crash; ``None`` on benign runs.
+    completed_survivors:
+        How many survivors knew every token when the run ended; ``None``
+        on benign runs.
+    survivor_completion_round:
+        First round after which every survivor knew every token (the
+        faulted twin of ``completion_round``, which still demands the whole
+        population — crashed nodes included — and so may never trigger).
     progress:
         Optional per-round record of the minimum / mean number of known
         tokens across nodes (populated when progress tracking is enabled).
@@ -45,6 +63,12 @@ class RunMetrics:
     max_message_bits: int = 0
     deliveries: int = 0
     useless_deliveries: int = 0
+    dropped_deliveries: int = 0
+    duplicated_deliveries: int = 0
+    corrupted_deliveries: int = 0
+    survivors: int | None = None
+    completed_survivors: int | None = None
+    survivor_completion_round: int | None = None
     progress: list[tuple[int, int, float]] = field(default_factory=list)
 
     @property
@@ -66,6 +90,19 @@ class RunMetrics:
             return 0.0
         return self.useless_deliveries / self.deliveries
 
+    @property
+    def surviving_completion_rate(self) -> float | None:
+        """Fraction of never-crashed nodes that learned everything.
+
+        ``None`` on benign runs (no fault axis), where ``completed`` is the
+        population-wide answer.
+        """
+        if self.survivors is None:
+            return None
+        if self.survivors == 0:
+            return 0.0
+        return (self.completed_survivors or 0) / self.survivors
+
     def record_broadcast(self, size_bits: int) -> None:
         """Account one broadcast of the given size."""
         self.broadcasts += 1
@@ -79,7 +116,7 @@ class RunMetrics:
 
     def summary(self) -> dict:
         """A plain-dict summary convenient for printing in benchmarks."""
-        return {
+        summary = {
             "rounds": self.rounds_executed,
             "completion_round": self.completion_round,
             "completed": self.completed,
@@ -88,3 +125,16 @@ class RunMetrics:
             "max_message_bits": self.max_message_bits,
             "waste_fraction": round(self.waste_fraction, 3),
         }
+        if self.survivors is not None:
+            rate = self.surviving_completion_rate
+            summary.update(
+                {
+                    "survivors": self.survivors,
+                    "survivor_completion_round": self.survivor_completion_round,
+                    "surviving_completion_rate": round(rate, 3) if rate is not None else None,
+                    "dropped": self.dropped_deliveries,
+                    "duplicated": self.duplicated_deliveries,
+                    "corrupted": self.corrupted_deliveries,
+                }
+            )
+        return summary

@@ -57,6 +57,7 @@ import numpy as np
 
 from ..algorithms.base import ProtocolConfig, ProtocolFactory, ProtocolNode
 from ..network.adversary import Adversary
+from ..network.faults import BoundFaults, FaultModel, SpanGuard
 from ..network.graphs import validate_topology
 from ..network.topology import Topology, TopologyValidationCache
 from ..tokens.message import Message
@@ -136,6 +137,50 @@ def _legacy_fingerprint(node: ProtocolNode) -> tuple[int, int]:
     return (len(node.known_token_ids()), node.coded_rank())
 
 
+def _coded_span_guard(nodes: Sequence[ProtocolNode]) -> SpanGuard | None:
+    """The Byzantine verification oracle, when the protocol supports one.
+
+    Only protocols with a shared static generation (indexed broadcast on
+    the mask-native GF(2) pipeline) expose a source span receivers can
+    verify against; for everything else Byzantine traffic is unverifiable
+    and the fault plan discards it wholesale.
+    """
+    node0 = nodes[0] if nodes else None
+    generation = getattr(node0, "generation", None)
+    state = getattr(node0, "state", None)
+    if generation is None or state is None:
+        return None
+    if not all(getattr(node.state, "_mask_native", False) for node in nodes):
+        return None
+    sources: list[int] = []
+    for node in nodes:
+        sources.extend(node.state.subspace._gf2.rows_in_insertion_order())
+    if not any(sources):
+        return None
+    return SpanGuard(generation.vector_length, sources)
+
+
+def _substitute_wire(nodes, outgoing, overrides) -> None:
+    """Replace Byzantine senders' composed messages on the wire (replay mode)."""
+    for uid, mask in overrides.items():
+        if outgoing[uid] is not None:
+            outgoing[uid] = nodes[uid].generation.message_from_mask(uid, mask)
+
+
+def _nx_csr(nx_view, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Ascending-neighbour CSR adjacency of a legacy networkx round graph."""
+    neighbour_lists = [sorted(nx_view.neighbors(uid)) for uid in range(n)]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for uid, neighbours in enumerate(neighbour_lists):
+        indptr[uid + 1] = indptr[uid] + len(neighbours)
+    indices = np.fromiter(
+        (v for neighbours in neighbour_lists for v in neighbours),
+        dtype=np.int64,
+        count=int(indptr[-1]),
+    )
+    return indices, indptr
+
+
 def _check_correctness(nodes: Sequence[ProtocolNode], placement: TokenPlacement) -> bool:
     expected = placement.by_id()
     for node in nodes:
@@ -159,6 +204,7 @@ def run_dissemination(
     record_topologies: bool = False,
     track_progress: bool = False,
     engine: str = "auto",
+    faults: FaultModel | None = None,
 ) -> RunResult:
     """Run one complete dissemination execution and return its result.
 
@@ -189,9 +235,19 @@ def run_dissemination(
         ``"auto"`` (the most specialised applicable engine: kernel, else
         mask, else legacy), ``"kernel"`` (require a registered
         :class:`~repro.simulation.kernels.RoundKernel`; raises if the
-        protocol has none or the adversary is omniscient), ``"mask"``
-        (require the mask fast path; raises if a node opts out), or
-        ``"legacy"`` (force the original nx/frozenset data flow).
+        protocol has none, or if the adversary is omniscient and the kernel
+        does not support message views), ``"mask"`` (require the mask fast
+        path; raises if a node opts out), or ``"legacy"`` (force the
+        original nx/frozenset data flow).
+    faults:
+        Optional :class:`~repro.network.faults.FaultModel` — the hostile
+        axis orthogonal to ``adversary``: per-edge loss/duplication,
+        permanent node crashes, Byzantine coded senders.  Fault randomness
+        comes from one ``rng.spawn``-ed stream drawn after node
+        construction, so a benign model leaves the run bit-identical to
+        ``faults=None``.  Under faults the stop rule, the reported
+        correctness and the new survivor metrics are computed over the
+        never-crashed population.
     """
     if engine not in ("auto", "mask", "legacy", "kernel"):
         raise ValueError(
@@ -203,6 +259,15 @@ def run_dissemination(
     all_token_ids = placement.all_ids()
     metrics = RunMetrics()
     topologies: list = []
+
+    # Fault binding happens after node construction and only for an active
+    # model, so the node rng streams — and benign runs entirely — stay
+    # bit-identical to the faultless code path.
+    bound: BoundFaults | None = None
+    if faults is not None and faults.active:
+        bound = faults.bind(config.n, rng.spawn(1)[0])
+        if bound.wants_guard:
+            bound.attach_guard(_coded_span_guard(nodes))
 
     if max_rounds is None:
         max_rounds = 20 * config.n * max(1, config.k) + 200
@@ -230,11 +295,11 @@ def run_dissemination(
                 "class with a registered RoundKernel (see "
                 "repro.simulation.kernels.register_kernel)"
             )
-        if adversary.sees_messages:
+        if adversary.sees_messages and not kernel_cls.supports_message_views:
             raise ValueError(
-                "the kernel engine does not build per-node message objects, "
-                "so omniscient (sees_messages) adversaries are not supported; "
-                "use engine='mask'"
+                f"{kernel_cls.__name__} does not build per-node message "
+                "views, so omniscient (sees_messages) adversaries are not "
+                "supported; use engine='mask'"
             )
         if not mask_ready:
             raise ValueError(
@@ -245,7 +310,7 @@ def run_dissemination(
         engine == "auto"
         and kernel_cls is not None
         and mask_ready
-        and not adversary.sees_messages
+        and (not adversary.sees_messages or kernel_cls.supports_message_views)
     )
     kernel = None
     if use_kernel:
@@ -266,13 +331,28 @@ def run_dissemination(
             stop_at_completion=stop_at_completion,
             record_topologies=record_topologies,
             track_progress=track_progress,
+            faults=bound,
         )
+        if bound is not None:
+            known = kernel.known_counts()
+            metrics.survivors = int(bound.survivor_indices.size)
+            metrics.completed_survivors = int(
+                (known[bound.survivor_indices] >= kernel.k).sum()
+            )
         kernel.to_nodes(nodes)
-        correct = (
-            _check_correctness(nodes, placement)
-            if metrics.completion_round is not None
-            else None
-        )
+        if bound is None:
+            correct = (
+                _check_correctness(nodes, placement)
+                if metrics.completion_round is not None
+                else None
+            )
+        else:
+            survivors = [nodes[i] for i in bound.survivor_indices.tolist()]
+            correct = (
+                _check_correctness(survivors, placement)
+                if metrics.survivor_completion_round is not None
+                else None
+            )
         return RunResult(
             metrics=metrics,
             nodes=nodes,
@@ -311,7 +391,10 @@ def run_dissemination(
     # graph, the same object ``after_round`` sees).
     coordinator = getattr(nodes[0], "shared_coordinator", None) if nodes else None
 
+    survivor_uids = bound.survivor_indices.tolist() if bound is not None else []
+
     for round_index in range(max_rounds):
+        plan = bound.begin_round(round_index) if bound is not None else None
         states = [node.state_view() for node in nodes]
         if not use_mask:
             # Legacy data flow: eager frozenset snapshots, as the seed
@@ -321,6 +404,8 @@ def run_dissemination(
 
         if adversary.sees_messages:
             outgoing = [node.compose(round_index) for node in nodes]
+            if plan is not None and plan.substitute:
+                _substitute_wire(nodes, outgoing, plan.substitute)
             graph = adversary.choose_topology(round_index, config.n, states, outgoing)
             topology, nx_view = _round_views(graph)
             if coordinator is not None:
@@ -335,13 +420,17 @@ def run_dissemination(
                     round_index, topology.to_nx() if use_mask else nx_view, nodes
                 )
             outgoing = [node.compose(round_index) for node in nodes]
+            if plan is not None and plan.substitute:
+                _substitute_wire(nodes, outgoing, plan.substitute)
 
         if record_topologies:
             topologies.append(topology if use_mask else nx_view)
 
-        # Budget enforcement and broadcast accounting.
-        for message in outgoing:
-            if message is None:
+        # Budget enforcement and broadcast accounting.  A crashed node's
+        # radio is off: it still composes (identical rng consumption keeps
+        # engine parity) but transmits nothing and counts as silent.
+        for uid, message in enumerate(outgoing):
+            if message is None or (plan is not None and plan.down[uid]):
                 metrics.record_silence()
                 continue
             if not isinstance(message, Message):
@@ -353,7 +442,51 @@ def run_dissemination(
 
         # Delivery: each node receives its neighbours' messages, in ascending
         # neighbour-uid order on both engines.
-        if use_mask:
+        if plan is not None:
+            # Faulted delivery runs over the plan's effective CSR — shared
+            # verbatim with the kernel engine, which is what keeps faulted
+            # metrics byte-identical across all three engines.
+            if use_mask:
+                base_indices, base_indptr = topology.csr_adjacency()
+            else:
+                base_indices, base_indptr = _nx_csr(nx_view, config.n)
+            eff_indices, eff_indptr = plan.bind_edges(base_indices, base_indptr)
+            sending = np.fromiter(
+                (message is not None for message in outgoing),
+                dtype=bool,
+                count=config.n,
+            )
+            sending &= ~plan.down
+            stats = plan.account(sending)
+            metrics.dropped_deliveries += stats.dropped
+            metrics.duplicated_deliveries += stats.duplicated
+            metrics.corrupted_deliveries += stats.corrupted
+            metrics.deliveries += stats.discarded
+            for uid, node in enumerate(nodes):
+                start, stop = int(eff_indptr[uid]), int(eff_indptr[uid + 1])
+                inbox = [
+                    outgoing[v]
+                    for v in eff_indices[start:stop].tolist()
+                    if outgoing[v] is not None
+                ]
+                if inbox:
+                    before = (
+                        (len(node.known), node.coded_rank())
+                        if use_mask
+                        else _legacy_fingerprint(node)
+                    )
+                    node.deliver(round_index, inbox)
+                    metrics.deliveries += len(inbox)
+                    after = (
+                        (len(node.known), node.coded_rank())
+                        if use_mask
+                        else _legacy_fingerprint(node)
+                    )
+                    if after == before:
+                        metrics.useless_deliveries += len(inbox)
+                else:
+                    node.deliver(round_index, inbox)
+        elif use_mask:
             # The neighbour tuples are cached on the Topology object, so a
             # static or T-stable topology pays the per-bit mask iteration
             # once per object/block instead of once per round.
@@ -422,13 +555,48 @@ def run_dissemination(
                 if all(all_token_ids <= node.known_token_ids() for node in nodes):
                     metrics.completion_round = round_index + 1
 
-        if metrics.completion_round is not None:
+        if bound is None:
+            done = metrics.completion_round is not None
+        else:
+            # Under crash faults the whole population may never complete;
+            # the faulted stop rule is survivor completion (identical to
+            # population completion when nothing crashes).
+            if metrics.survivor_completion_round is None:
+                if use_mask:
+                    survivors_done = all(
+                        nodes[u].knowledge_mask() == full_mask for u in survivor_uids
+                    )
+                else:
+                    survivors_done = all(
+                        all_token_ids <= nodes[u].known_token_ids()
+                        for u in survivor_uids
+                    )
+                if survivors_done:
+                    metrics.survivor_completion_round = round_index + 1
+            done = metrics.survivor_completion_round is not None
+
+        if done:
             if stop_at_completion or all(node.finished() for node in nodes):
                 break
 
     correct: bool | None = None
-    if metrics.completion_round is not None:
-        correct = _check_correctness(nodes, placement)
+    if bound is None:
+        if metrics.completion_round is not None:
+            correct = _check_correctness(nodes, placement)
+    else:
+        metrics.survivors = len(survivor_uids)
+        if use_mask:
+            metrics.completed_survivors = sum(
+                1 for u in survivor_uids if nodes[u].knowledge_mask() == full_mask
+            )
+        else:
+            metrics.completed_survivors = sum(
+                1 for u in survivor_uids if all_token_ids <= nodes[u].known_token_ids()
+            )
+        if metrics.survivor_completion_round is not None:
+            correct = _check_correctness(
+                [nodes[u] for u in survivor_uids], placement
+            )
     return RunResult(
         metrics=metrics,
         nodes=nodes,

@@ -1,0 +1,51 @@
+"""Fixture: unpicklable fault-model factories (REP201).
+
+Scenario ``faults=`` factories ship into sweep worker processes exactly
+like ``build=`` factories do; lambdas and closures must fire the same
+rule on the new kwarg.
+"""
+
+
+def register_scenario(scenario):
+    return scenario
+
+
+class Scenario:
+    def __init__(self, name, build, faults=None):
+        self.name = name
+        self.build = build
+        self.faults = faults
+
+
+def module_level_build(n, seed):
+    return (n, seed)
+
+
+def module_level_faults(n, seed):
+    return ("loss", n, seed)
+
+
+def ok_fault_registration():
+    register_scenario(
+        Scenario("fine", build=module_level_build, faults=module_level_faults)
+    )
+
+
+def bad_lambda_fault_registration():
+    register_scenario(
+        Scenario("broken", build=module_level_build, faults=lambda n, seed: ("loss", n))
+    )
+
+
+def bad_closure_fault_factory(loss):
+    def bound_faults(n, seed):
+        return ("loss", loss, n, seed)
+
+    register_scenario(Scenario("broken", build=module_level_build, faults=bound_faults))
+
+
+def fault_model_factory(loss):
+    def build_model(n, seed):
+        return ("loss", loss, n, seed)
+
+    return build_model

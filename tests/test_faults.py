@@ -1,0 +1,374 @@
+"""Contract, invariant, and engine-parity tests for the fault axis.
+
+The fault layer (:mod:`repro.network.faults`) edits every round's canonical
+CSR adjacency into an *effective* CSR shared verbatim by the kernel / mask /
+legacy engines; these tests pin
+
+* :class:`FaultModel` validation and the benign no-op guarantee (a model
+  with no active axis leaves runs bit-identical to ``faults=None``),
+* hypothesis invariants on the effective CSR — delivered edges are a
+  sub-multiset of sent edges, duplication multiplicity is bounded by 2,
+  crashed endpoints never appear — and on the :class:`SpanGuard` — malformed
+  Byzantine vectors are provably outside the source span and can never
+  raise a ``GF2Basis`` / ``GF2BasisBatch`` rank past it,
+* byte-identical :class:`~repro.simulation.metrics.RunMetrics` across all
+  three engines for every hostile scenario-catalog entry, with the kernel
+  engine actually selected (no legacy fallback),
+* the ``wire_message`` kernel hook keeping message-inspecting (omniscient)
+  adversaries kernel-eligible, alone and combined with faults,
+* ``lifeline=False`` churn monotonicity and the derived crash schedules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import IndexedBroadcastNode, TokenForwardingNode
+from repro.gf import GF2Basis
+from repro.gf.packed import GF2BasisBatch, masks_to_packed
+from repro.network import (
+    ChurnProcess,
+    EdgeMarkovProcess,
+    FaultModel,
+    OmniscientBottleneckAdversary,
+    SpanGuard,
+    crash_schedule_from_churn,
+    random_connected_topology,
+)
+from repro.scenarios import fault_model_for, hostile_scenarios, make_scenario
+from repro.simulation import run_dissemination, standard_instance
+from tests.conftest import make_config
+
+ENGINES = ("kernel", "mask", "legacy")
+
+
+def _run_all_engines(factory, config, scenario_name, fault_model, *, seed=3, **kwargs):
+    placement = standard_instance(config.n, config.k, config.token_bits, seed=seed)
+    return {
+        engine: run_dissemination(
+            factory,
+            config,
+            placement,
+            make_scenario(scenario_name, config.n, seed=5),
+            seed=seed,
+            engine=engine,
+            faults=fault_model,
+            track_progress=True,
+            **kwargs,
+        )
+        for engine in ENGINES
+    }
+
+
+def _assert_identical(results, expect_kernel=True):
+    kernel = results["kernel"]
+    if expect_kernel:
+        assert kernel.engine == "kernel"
+    reference = dataclasses.asdict(kernel.metrics)
+    for engine in ("mask", "legacy"):
+        assert dataclasses.asdict(results[engine].metrics) == reference, engine
+    for kernel_node, mask_node in zip(kernel.nodes, results["mask"].nodes):
+        assert kernel_node.known_token_ids() == mask_node.known_token_ids()
+    return kernel
+
+
+class TestFaultModelValidation:
+    def test_defaults_are_inactive(self):
+        model = FaultModel()
+        assert not model.active
+        assert model.crashes == () and model.byzantine == ()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"loss": -0.1},
+        {"loss": 1.0001},
+        {"duplication": -0.5},
+        {"duplication": 2.0},
+        {"byzantine_mode": "teleport"},
+        {"crashes": ((3, 0), (3, 7))},
+        {"crashes": ((-1, 0),)},
+        {"crashes": ((2, -4),)},
+        {"byzantine": (5, 5)},
+        {"byzantine": (-2,)},
+        {"crashes": ((4, 1),), "byzantine": (4,)},
+    ])
+    def test_invalid_models_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultModel(**kwargs)
+
+    def test_schedules_are_normalised_sorted(self):
+        model = FaultModel(crashes=((7, 2), (1, 5)), byzantine=(9, 3))
+        assert model.crashes == ((1, 5), (7, 2))
+        assert model.byzantine == (3, 9)
+
+    def test_each_axis_activates(self):
+        assert FaultModel(loss=0.1).active
+        assert FaultModel(duplication=0.1).active
+        assert FaultModel(crashes=((0, 3),)).active
+        assert FaultModel(byzantine=(2,)).active
+
+    def test_bind_rejects_out_of_range_uids(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="out of range"):
+            FaultModel(crashes=((8, 0),)).bind(8, rng)
+        with pytest.raises(ValueError, match="out of range"):
+            FaultModel(byzantine=(11,)).bind(8, rng)
+
+    def test_inactive_model_is_bit_identical_to_no_faults(self):
+        config = make_config(n=10, k=8)
+        placement = standard_instance(10, 8, config.token_bits, seed=3)
+        runs = {}
+        for faults in (None, FaultModel()):
+            runs[faults is None] = run_dissemination(
+                TokenForwardingNode, config, placement,
+                make_scenario("edge_markov", 10, seed=5),
+                seed=3, faults=faults, track_progress=True,
+            )
+        assert dataclasses.asdict(runs[True].metrics) == dataclasses.asdict(
+            runs[False].metrics
+        )
+        assert runs[False].metrics.survivors is None
+        assert runs[False].metrics.surviving_completion_rate is None
+        assert "survivors" not in runs[False].metrics.summary()
+
+
+class TestEffectiveCsrInvariants:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        n=st.integers(3, 20),
+        loss=st.floats(0.0, 1.0),
+        duplication=st.floats(0.0, 1.0),
+        crashed=st.sets(st.integers(0, 19), max_size=5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_delivered_is_a_submultiset_of_sent(
+        self, n, loss, duplication, crashed, seed
+    ):
+        crashes = tuple((uid, 0) for uid in sorted(crashed) if uid < n)
+        model = FaultModel(loss=loss, duplication=duplication, crashes=crashes)
+        bound = model.bind(n, np.random.default_rng(seed))
+        plan = bound.begin_round(0)
+        topology = random_connected_topology(n, np.random.default_rng(seed + 1))
+        indices, indptr = topology.csr_adjacency()
+        eff_indices, eff_indptr = plan.bind_edges(indices, indptr)
+        assert eff_indptr[0] == 0 and eff_indptr[-1] == eff_indices.size
+        for v in range(n):
+            base = Counter(indices[indptr[v] : indptr[v + 1]].tolist())
+            eff = eff_indices[eff_indptr[v] : eff_indptr[v + 1]].tolist()
+            # Delivered senders are a sub-multiset of sent senders: every
+            # effective edge existed, at most doubled by duplication.
+            for sender, copies in Counter(eff).items():
+                assert sender in base
+                assert copies <= 2 * base[sender]
+            # Segments keep the canonical ascending-sender order with
+            # duplicates adjacent (what the delivery loops rely on).
+            assert eff == sorted(eff)
+            # Crashed endpoints never appear on either side.
+            if plan.down[v]:
+                assert eff == []
+            assert not any(plan.down[s] for s in eff)
+        stats = plan.account(~plan.down)
+        assert stats.dropped >= 0 and stats.duplicated >= 0
+        assert stats.corrupted == 0 and stats.discarded == 0
+        assert stats.dropped + stats.duplicated <= indices.size
+
+    def test_total_loss_delivers_nothing(self):
+        n = 10
+        config = make_config(n=n, k=n)
+        placement = standard_instance(n, n, config.token_bits, seed=3)
+        result = run_dissemination(
+            TokenForwardingNode, config, placement,
+            make_scenario("edge_markov", n, seed=5),
+            seed=3, faults=FaultModel(loss=1.0), max_rounds=12,
+            track_progress=True,
+        )
+        assert result.metrics.deliveries == 0
+        assert result.metrics.dropped_deliveries > 0
+        assert not result.completed
+        assert result.metrics.survivors == n
+        assert result.metrics.completed_survivors == 0
+
+    def test_account_requires_bind_edges(self):
+        bound = FaultModel(loss=0.5).bind(4, np.random.default_rng(0))
+        plan = bound.begin_round(0)
+        with pytest.raises(RuntimeError, match="bind_edges"):
+            plan.account(np.ones(4, dtype=bool))
+
+
+class TestSpanGuard:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        masks=st.lists(st.integers(1, 2**12 - 1), min_size=1, max_size=10),
+        seed=st.integers(0, 10_000),
+    )
+    def test_malformed_vectors_never_raise_rank_past_span(self, masks, seed):
+        length = 16
+        guard = SpanGuard(length, masks)
+        assert 0 < guard.rank < length
+        assert guard.contains(guard.replay_mask)
+        rng = np.random.default_rng(seed)
+        forged = guard.sample_outside(rng)
+        assert not guard.contains(forged)
+        # The receiver-side contract: verified traffic (replay) cannot push
+        # a basis past the source span, and forged traffic never reaches the
+        # basis at all because the guard rejects it first.
+        basis = GF2Basis(length)
+        for mask in masks:
+            basis.insert(mask)
+        batch = GF2BasisBatch(1, length)
+        batch.insert_batch(
+            np.zeros(len(masks), dtype=np.int64),
+            masks_to_packed(masks, batch.words),
+        )
+        assert basis.rank == guard.rank == int(batch.ranks[0])
+        for incoming in (guard.replay_mask, forged):
+            if guard.contains(incoming):
+                basis.insert(incoming)
+                batch.insert_batch(
+                    np.zeros(1, dtype=np.int64),
+                    masks_to_packed([incoming], batch.words),
+                )
+        assert basis.rank == guard.rank
+        assert int(batch.ranks[0]) == guard.rank
+
+    def test_full_span_has_no_malformed_vector(self):
+        guard = SpanGuard(2, [0b01, 0b10])
+        with pytest.raises(ValueError, match="whole space"):
+            guard.sample_outside(np.random.default_rng(0))
+
+    def test_guard_requires_a_nonzero_source(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            SpanGuard(8, [0, 0])
+
+
+class TestHostileCatalogParity:
+    @pytest.mark.parametrize("name", hostile_scenarios())
+    def test_forwarding_parity_across_engines(self, name):
+        n, k = 16, 12
+        config = make_config(n=n, k=k)
+        results = _run_all_engines(
+            TokenForwardingNode, config, name, fault_model_for(name, n, seed=5),
+            max_rounds=6 * n,
+        )
+        kernel = _assert_identical(results)
+        metrics = kernel.metrics
+        assert metrics.survivors is not None
+        assert metrics.survivors == len(
+            [u for u in range(n) if all(u != c for c, _ in fault_model_for(name, n, seed=5).crashes)]
+        )
+        assert metrics.surviving_completion_rate is not None
+        assert "survivors" in metrics.summary()
+
+    @pytest.mark.parametrize(
+        "name", [s for s in hostile_scenarios() if fault_model_for(s, 16).byzantine]
+    )
+    def test_coded_parity_under_byzantine_senders(self, name):
+        n, k = 16, 12
+        config = make_config(n=n, k=k)
+        results = _run_all_engines(
+            IndexedBroadcastNode, config, name, fault_model_for(name, n, seed=5),
+            max_rounds=6 * n,
+        )
+        kernel = _assert_identical(results)
+        assert kernel.metrics.corrupted_deliveries > 0
+
+    def test_catalog_entries_expose_fault_models(self):
+        names = hostile_scenarios()
+        assert len(names) >= 4
+        for name in names:
+            model = fault_model_for(name, 16, seed=5)
+            assert isinstance(model, FaultModel) and model.active
+        assert fault_model_for("edge_markov", 16) is None
+        with pytest.raises(ValueError, match="unknown scenario"):
+            fault_model_for("no_such_scenario", 16)
+
+
+class TestMessageViewKernelEligibility:
+    @pytest.mark.parametrize("factory", [TokenForwardingNode, IndexedBroadcastNode])
+    def test_omniscient_adversary_stays_on_kernel(self, factory):
+        n, k = 12, 10
+        config = make_config(n=n, k=k)
+        placement = standard_instance(n, k, config.token_bits, seed=3)
+        results = {
+            engine: run_dissemination(
+                factory, config, placement,
+                OmniscientBottleneckAdversary(usefulness_fn=_forwarded_something),
+                seed=3, engine=engine, max_rounds=10 * n, track_progress=True,
+            )
+            for engine in ("kernel", "mask")
+        }
+        assert results["kernel"].engine == "kernel"
+        assert dataclasses.asdict(results["kernel"].metrics) == dataclasses.asdict(
+            results["mask"].metrics
+        )
+
+    def test_faulted_omniscient_run_stays_on_kernel(self):
+        # The combination the tentpole demands: a message-inspecting
+        # adversary AND Byzantine replay substitution, still kernel-run and
+        # still byte-identical to the mask engine.
+        n, k = 12, 10
+        config = make_config(n=n, k=k)
+        placement = standard_instance(n, k, config.token_bits, seed=3)
+        faults = FaultModel(loss=0.1, byzantine=(n - 1,), byzantine_mode="replay")
+        results = {
+            engine: run_dissemination(
+                IndexedBroadcastNode, config, placement,
+                OmniscientBottleneckAdversary(usefulness_fn=_forwarded_something),
+                seed=3, engine=engine, faults=faults, max_rounds=10 * n,
+                track_progress=True,
+            )
+            for engine in ("kernel", "mask")
+        }
+        assert results["kernel"].engine == "kernel"
+        assert dataclasses.asdict(results["kernel"].metrics) == dataclasses.asdict(
+            results["mask"].metrics
+        )
+        assert results["kernel"].metrics.corrupted_deliveries > 0
+
+
+def _forwarded_something(sender, receiver, message):
+    if message is None:
+        return False
+    tokens = getattr(message, "tokens", None)
+    if tokens is not None:
+        return len(tokens) > 0
+    return True
+
+
+class TestCrashSchedulesFromChurn:
+    def test_lifeline_false_departures_are_permanent(self):
+        churn = ChurnProcess(
+            EdgeMarkovProcess(12, seed=3), max_churn=2, min_active=4,
+            seed=9, record_activity=True, lifeline=False,
+        )
+        churn.next_batch(40)
+        previous = np.ones(12, dtype=bool)
+        for active in churn.activity_history:
+            assert not (active & ~previous).any()
+            previous = active
+        assert int(previous.sum()) >= 4
+
+    def test_schedule_matches_first_inactive_rounds(self):
+        churn = ChurnProcess(
+            EdgeMarkovProcess(12, seed=3), max_churn=2, min_active=4,
+            seed=9, record_activity=True, lifeline=False,
+        )
+        schedule = crash_schedule_from_churn(churn, rounds=40)
+        assert schedule and schedule == tuple(sorted(schedule))
+        # The replay is reset-neutral: re-running the process reproduces
+        # exactly the activity the schedule was derived from.
+        churn.next_batch(40)
+        for uid, first_dead in schedule:
+            assert not churn.activity_history[first_dead][uid]
+            assert all(churn.activity_history[r][uid] for r in range(first_dead))
+        assert FaultModel(crashes=schedule).active
+
+    def test_requires_recorded_activity(self):
+        churn = ChurnProcess(EdgeMarkovProcess(8, seed=3), lifeline=False)
+        with pytest.raises(ValueError, match="record_activity"):
+            crash_schedule_from_churn(churn, rounds=10)

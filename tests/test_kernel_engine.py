@@ -228,22 +228,32 @@ class TestEngineSelection:
         with pytest.raises(ValueError, match="RoundKernel"):
             _run(PriorityForwardNode, config, BottleneckAdversary(), engine="kernel")
 
-    def test_kernel_engine_rejects_omniscient_adversaries(self):
+    def test_kernel_engine_rejects_omniscient_without_message_views(self):
+        # NaiveCodedKernel has no wire_message hook, so omniscient adversaries
+        # still force it off the kernel engine.
+        assert NaiveCodedKernel.supports_message_views is False
         config = make_config(8)
         with pytest.raises(ValueError, match="sees_messages"):
             _run(
-                TokenForwardingNode,
+                NaiveCodedNode,
                 config,
                 OmniscientBottleneckAdversary(),
                 engine="kernel",
             )
 
-    def test_auto_with_omniscient_adversary_uses_mask(self):
+    def test_auto_with_omniscient_adversary_uses_message_views(self):
+        # Kernels with wire_message stay kernel-eligible under omniscient
+        # adversaries; kernels without it fall back to mask.
+        assert TokenForwardingKernel.supports_message_views is True
         config = make_config(8)
         result = _run(
             TokenForwardingNode, config, OmniscientBottleneckAdversary(), engine="auto"
         )
-        assert result.engine == "mask"
+        assert result.engine == "kernel"
+        fallback = _run(
+            NaiveCodedNode, config, OmniscientBottleneckAdversary(), engine="auto"
+        )
+        assert fallback.engine == "mask"
 
     def test_unknown_engine_rejected(self):
         config = make_config(8)

@@ -131,6 +131,16 @@ def test_rep201_fires_on_lambda_closure_and_factory_returns():
     assert line_of("factories_bad.py", "allow[REP201]") in rule_lines(suppressed, "REP201")
 
 
+def test_rep201_fires_on_unpicklable_fault_model_factories():
+    active, _ = lint_fixture("faults_bad.py")
+    lines = rule_lines(active, "REP201")
+    assert line_of("faults_bad.py", "faults=lambda n, seed:") in lines
+    assert line_of("faults_bad.py", "faults=bound_faults") in lines
+    assert line_of("faults_bad.py", "return build_model") in lines
+    # a module-level fault builder stays clean
+    assert line_of("faults_bad.py", "faults=module_level_faults") not in lines
+
+
 # ----------------------------------------------------------------------
 # engine contracts
 # ----------------------------------------------------------------------
