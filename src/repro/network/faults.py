@@ -226,7 +226,21 @@ class BoundFaults:
 
     def attach_guard(self, guard: SpanGuard | None) -> None:
         """Attach the protocol's span guard (None: Byzantine traffic is
-        unverifiable for this protocol and always discarded)."""
+        unverifiable for this protocol and always discarded).
+
+        When the source span already covers the whole vector space, no
+        out-of-span vector exists, so a ``"malformed"`` attack is
+        impossible (``sample_outside`` would loop/raise mid-run).  The
+        guard is dropped instead: every Byzantine copy is discarded,
+        matching the unverifiable (``guard=None``) path and the mode's
+        observable outcome — malformed traffic never reaches a basis.
+        """
+        if (
+            guard is not None
+            and self.model.byzantine_mode == "malformed"
+            and guard.rank >= guard.length
+        ):
+            guard = None
         self.guard = guard
 
     def begin_round(self, round_index: int) -> "RoundFaultPlan":

@@ -851,11 +851,16 @@ class GreedyForwardKernel(RoundKernel):
             else:
                 keys = self._elect_keys
                 if indices.size:
-                    # Clamped starts keep reduceat in-bounds on the empty
-                    # segments a fault-edited CSR can contain; the
-                    # degree > 0 filter below already discards those rows.
-                    starts = np.minimum(indptr[:-1], indices.size - 1)
-                    inbox = np.maximum.reduceat(keys[indices], starts)
+                    # A -1 sentinel pad keeps reduceat in-bounds on the
+                    # trailing empty segments a fault-edited CSR can contain
+                    # without truncating the last non-empty segment (clamping
+                    # the starts would drop its final key); interior empty
+                    # segments yield a real single element, discarded by the
+                    # degree > 0 filter below.
+                    padded = np.concatenate(
+                        (keys[indices], np.full(1, -1, dtype=keys.dtype))
+                    )
+                    inbox = np.maximum.reduceat(padded, indptr[:-1])
                     merge = np.flatnonzero(
                         ~self.exhausted & (np.diff(indptr) > 0) & (inbox >= 0)
                     )

@@ -165,13 +165,19 @@ def _neighbor_or(send: np.ndarray, indices: np.ndarray, indptr: np.ndarray) -> n
     One gather plus one ``reduceat``.  A validated (connected, n >= 2)
     topology has no empty neighbour segments, but the *effective* CSR a
     fault plan edits (crashed endpoints and lost edges removed) can leave
-    some — and ``reduceat`` returns a garbage element (or errors at the
-    array end) for an empty segment, so those rows are zeroed explicitly.
+    some.  ``reduceat`` needs every start index in-bounds, so the gathered
+    rows get one zero pad row: trailing empty segments (start ==
+    ``indices.size``) reduce over the pad — clamping the start instead
+    would truncate the preceding segment and drop its last neighbour.
+    Interior empty segments (``reduceat`` returns the single element at
+    the start, a real row) are zeroed explicitly.
     """
     if indices.size == 0:
         return np.zeros_like(send)
-    starts = np.minimum(indptr[:-1], indices.size - 1)
-    inbox = np.bitwise_or.reduceat(send[indices], starts, axis=0)
+    rows = np.concatenate(
+        (send[indices], np.zeros((1, send.shape[1]), dtype=send.dtype))
+    )
+    inbox = np.bitwise_or.reduceat(rows, indptr[:-1], axis=0)
     empty = np.diff(indptr) == 0
     if empty.any():
         inbox[empty] = 0

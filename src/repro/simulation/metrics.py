@@ -95,12 +95,13 @@ class RunMetrics:
         """Fraction of never-crashed nodes that learned everything.
 
         ``None`` on benign runs (no fault axis), where ``completed`` is the
-        population-wide answer.
+        population-wide answer — and when there are no survivors at all
+        (every node scheduled to crash): a rate over an empty population is
+        undefined, not 0.0, so averaged sweep outputs can tell "no
+        survivors" apart from "no survivor completed".
         """
-        if self.survivors is None:
+        if not self.survivors:
             return None
-        if self.survivors == 0:
-            return 0.0
         return (self.completed_survivors or 0) / self.survivors
 
     def record_broadcast(self, size_bits: int) -> None:

@@ -29,7 +29,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import IndexedBroadcastNode, TokenForwardingNode
+from repro.algorithms import (
+    GreedyForwardNode,
+    IndexedBroadcastNode,
+    TokenForwardingNode,
+)
 from repro.gf import GF2Basis
 from repro.gf.packed import GF2BasisBatch, masks_to_packed
 from repro.network import (
@@ -42,7 +46,14 @@ from repro.network import (
     random_connected_topology,
 )
 from repro.scenarios import fault_model_for, hostile_scenarios, make_scenario
-from repro.simulation import run_dissemination, standard_instance
+from repro.simulation import (
+    RunMetrics,
+    build_nodes,
+    run_dissemination,
+    standard_instance,
+)
+from repro.simulation.coded_kernels import GreedyForwardKernel
+from repro.simulation.kernels import _neighbor_or
 from tests.conftest import make_config
 
 ENGINES = ("kernel", "mask", "legacy")
@@ -241,6 +252,33 @@ class TestSpanGuard:
         with pytest.raises(ValueError, match="whole space"):
             guard.sample_outside(np.random.default_rng(0))
 
+    def test_full_rank_span_degrades_malformed_to_discard_all(self):
+        # A full-rank source span admits no out-of-span vector, so a
+        # malformed model must not keep a guard sample_outside would choke
+        # on mid-run: attach degrades to the unverifiable (discard-all) path.
+        bound = FaultModel(byzantine=(1,), byzantine_mode="malformed").bind(
+            4, np.random.default_rng(0)
+        )
+        bound.attach_guard(SpanGuard(2, [0b01, 0b10]))
+        assert bound.guard is None
+        plan = bound.begin_round(0)
+        assert plan.wire_vectors == {} and plan.substitute == {}
+        indices = np.array([1, 0, 2, 1, 3, 2], dtype=np.int64)
+        indptr = np.array([0, 1, 3, 5, 6], dtype=np.int64)
+        eff_indices, _ = plan.bind_edges(indices, indptr)
+        # Every copy the Byzantine node sends is discarded at the receivers.
+        assert 1 not in eff_indices.tolist()
+
+    def test_full_rank_span_keeps_replay_guard(self):
+        bound = FaultModel(byzantine=(1,), byzantine_mode="replay").bind(
+            4, np.random.default_rng(0)
+        )
+        guard = SpanGuard(2, [0b01, 0b10])
+        bound.attach_guard(guard)
+        assert bound.guard is guard
+        plan = bound.begin_round(0)
+        assert plan.wire_vectors == {1: guard.replay_mask}
+
     def test_guard_requires_a_nonzero_source(self):
         with pytest.raises(ValueError, match="non-zero"):
             SpanGuard(8, [0, 0])
@@ -286,6 +324,90 @@ class TestHostileCatalogParity:
         assert fault_model_for("edge_markov", 16) is None
         with pytest.raises(ValueError, match="unknown scenario"):
             fault_model_for("no_such_scenario", 16)
+
+
+class TestTrailingEmptySegmentRegressions:
+    """A crashed (or fully edge-lost) top-uid node leaves *trailing* empty
+    segments in the effective CSR.  ``reduceat``-based kernels must still
+    reduce the last non-empty segment over its full extent — the old
+    start-index clamp silently dropped that segment's final neighbour,
+    corrupting faulted kernel results and breaking three-engine parity.
+    """
+
+    def test_neighbor_or_keeps_last_neighbor_before_trailing_empty(self):
+        send = np.array([[1], [2], [4]], dtype=np.uint64)
+        indices = np.array([0, 1, 0, 1, 2], dtype=np.int64)
+        indptr = np.array([0, 2, 5, 5], dtype=np.int64)
+        # Node 1 has degree 3; its last neighbour (send row 4) must survive
+        # the trailing empty segment of node 2.
+        assert _neighbor_or(send, indices, indptr).tolist() == [[3], [7], [0]]
+
+    def test_neighbor_or_interior_empty_segment_is_zero(self):
+        send = np.array([[1], [2], [4]], dtype=np.uint64)
+        indices = np.array([0, 2, 1, 2], dtype=np.int64)
+        indptr = np.array([0, 2, 2, 4], dtype=np.int64)
+        assert _neighbor_or(send, indices, indptr).tolist() == [[5], [0], [6]]
+
+    def test_neighbor_or_all_segments_empty(self):
+        send = np.array([[7], [9]], dtype=np.uint64)
+        indices = np.array([], dtype=np.int64)
+        indptr = np.array([0, 0, 0], dtype=np.int64)
+        assert _neighbor_or(send, indices, indptr).tolist() == [[0], [0]]
+
+    def test_greedy_elect_keeps_last_key_before_trailing_empty(self):
+        # Elect-flood twin of the _neighbor_or regression: node 2 is the
+        # last non-empty segment and its final neighbour (node 1) holds the
+        # strictly largest (count, uid) key; the crashed top node leaves a
+        # trailing empty segment.  The clamped reduceat dropped node 1's
+        # key, electing the wrong leader.
+        n = 4
+        config = make_config(n)
+        placement = standard_instance(n, n, 8, seed=1)
+        token_index = {tid: i for i, tid in enumerate(sorted(placement.all_ids()))}
+        nodes = build_nodes(
+            GreedyForwardNode, config, placement, np.random.default_rng(0)
+        )
+        for node in nodes:
+            node.enable_mask_tracking(token_index)
+        kernel = GreedyForwardKernel(config, placement, token_index, nodes)
+        kernel.lead_count = np.array([0, 7, 0, 0], dtype=np.int64)
+        kernel.lead_uid = np.arange(n, dtype=np.int64)
+        round_index = kernel.gather_rounds  # first elect round
+        kernel.compose_all(round_index)
+        indices = np.array([1, 0, 0, 1], dtype=np.int64)
+        indptr = np.array([0, 1, 2, 4, 4], dtype=np.int64)
+        kernel.deliver_all(round_index, indices, indptr, None, None)
+        assert kernel.lead_count[2] == 7
+        assert kernel.lead_uid[2] == 1
+
+    @pytest.mark.parametrize("factory", [TokenForwardingNode, GreedyForwardNode])
+    def test_parity_with_top_uid_crashed(self, factory):
+        # The top uid is dead from round 0, so every round's effective CSR
+        # ends in an empty segment while the penultimate node keeps degree
+        # >= 2 — exercising both the _neighbor_or propagation (forwarding)
+        # and the maximum.reduceat elect flood (greedy coded).
+        n, k = 12, 10
+        config = make_config(n=n, k=k)
+        results = _run_all_engines(
+            factory, config, "edge_markov",
+            FaultModel(crashes=((n - 1, 0),)), max_rounds=8 * n,
+        )
+        kernel = _assert_identical(results)
+        assert kernel.metrics.survivors == n - 1
+
+
+class TestSurvivorRate:
+    def test_zero_survivors_rate_is_undefined(self):
+        # Every node scheduled to crash: the rate over an empty population
+        # is None, not 0.0, so sweep averages can tell "no survivors" apart
+        # from "no survivor completed".
+        metrics = RunMetrics(survivors=0, completed_survivors=0)
+        assert metrics.surviving_completion_rate is None
+        assert metrics.summary()["surviving_completion_rate"] is None
+
+    def test_partial_survivor_rate(self):
+        metrics = RunMetrics(survivors=4, completed_survivors=3)
+        assert metrics.surviving_completion_rate == 0.75
 
 
 class TestMessageViewKernelEligibility:
