@@ -8,10 +8,21 @@ The adversary axis controls *topology*; this module adds the orthogonal
   same broadcast can reach some neighbours and miss others);
 * **duplication** — per-edge Bernoulli repetition: the receiver processes
   the same message twice that round (re-broadcast echo);
-* **crashes** — per-node permanent radio death from a scheduled round on:
-  a crashed node neither transmits nor receives, and — unlike the
-  lifeline-repaired churn of :class:`~repro.network.dynamics.ChurnProcess`
-  — it never re-attaches;
+* **crashes** — per-node radio death over scheduled intervals: a crashed
+  node neither transmits nor receives.  ``(uid, down_round)`` entries are
+  permanent (the node never re-attaches); ``(uid, down_round, up_round)``
+  entries are crash–recovery intervals — the node rejoins at ``up_round``
+  with its pre-crash knowledge frozen (stale-state rejoin), having missed
+  every round in ``[down_round, up_round)``;
+* **partitions** — a :class:`PartitionModel` splits the node set into
+  groups for scheduled round windows: cross-group edges simply do not
+  exist while a window is open, and the network heals when it closes;
+* **adaptive strategies** — a :class:`FaultStrategy` targets structure
+  instead of flipping coins: bridge/cut-edge loss
+  (:class:`BridgeLossStrategy`), highest-degree crash targeting
+  (:class:`TargetedCrashStrategy`), and budgeted adversaries that spend a
+  global loss budget on spanning-structure edges
+  (:class:`BudgetedLossStrategy`);
 * **Byzantine coded senders** — nodes whose coded wire traffic is replaced
   by adversarial GF(2) vectors: ``"malformed"`` vectors lie outside the
   source span (receivers verify against a :class:`SpanGuard` — the
@@ -24,14 +35,19 @@ it once per run (:meth:`FaultModel.bind`) against a dedicated spawned rng
 stream, and each round proceeds through a :class:`RoundFaultPlan`:
 
 1. ``begin_round`` — draws the Byzantine wire vectors (topology-independent,
-   ascending uid) and snapshots which nodes are down;
-2. ``bind_edges`` — draws per-edge loss/duplication over the round's
-   canonical CSR adjacency and edits it into the *effective* CSR: crashed
-   endpoints and lost edges removed, duplicated edges repeated adjacently.
+   ascending uid) and snapshots which nodes are down this round from the
+   crash intervals;
+2. ``bind_edges`` — consults the adaptive strategy (which sees the round's
+   canonical CSR and may target edges or crash nodes), draws per-edge
+   loss/duplication, and edits everything into the *effective* CSR: crashed
+   endpoints, partition-crossing edges and lost edges removed, duplicated
+   edges repeated adjacently.
 
 All three engines consume the same effective CSR (and the identical draw
 order), which is what keeps faulted :class:`~repro.simulation.metrics.RunMetrics`
-byte-identical across kernel / mask / legacy.
+byte-identical across kernel / mask / legacy.  Because strategies may crash
+nodes mid-`bind_edges`, engines must read ``plan.down`` only *after*
+``bind_edges`` has run.
 """
 
 from __future__ import annotations
@@ -41,13 +57,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gf import GF2Basis
+from .dynamics import packed_words, spanning_structure
 
 __all__ = [
     "BoundFaults",
+    "BridgeLossStrategy",
+    "BudgetedLossStrategy",
     "FaultModel",
+    "FaultStrategy",
+    "PartitionModel",
     "RoundFaultPlan",
     "RoundFaultStats",
     "SpanGuard",
+    "TargetedCrashStrategy",
     "crash_schedule_from_churn",
 ]
 
@@ -55,6 +77,324 @@ _BYZANTINE_MODES = ("malformed", "replay")
 _NEVER = np.iinfo(np.int64).max
 
 
+# ----------------------------------------------------------------------
+# adaptive strategies (the FaultStrategy seam)
+# ----------------------------------------------------------------------
+class FaultStrategy:
+    """Declarative adaptive fault adversary behind :class:`FaultModel`.
+
+    A strategy is frozen plain data (so scenario fault factories pickle into
+    sweep workers, REP201) and is *bound* once per run.  The bound state's
+    ``plan_round`` is consulted inside :meth:`RoundFaultPlan.bind_edges`,
+    after the i.i.d. loss/duplication draws but before viability is
+    computed, and returns ``(extra_lost, crashed)``:
+
+    * ``extra_lost`` — per-edge boolean over the round's canonical CSR (or
+      ``None``): additional targeted erasures, OR-ed into the Bernoulli
+      losses and counted as dropped deliveries;
+    * ``crashed`` — uids the strategy crashes permanently *this round*
+      (effective immediately: the node neither sends nor receives from the
+      current round on, and leaves the survivor population).
+
+    Any randomness must come from the ``rng`` handed in (the run's dedicated
+    fault stream) — strategies drawing from global numpy state break the
+    3-engine byte-identity contract (and trip lint rule REP102).
+    """
+
+    def bind(self, n: int) -> "BoundStrategy":
+        """Create the per-run mutable state for a network of ``n`` nodes."""
+        raise NotImplementedError
+
+
+class BoundStrategy:
+    """Per-run mutable state of a :class:`FaultStrategy`."""
+
+    def plan_round(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        indptr: np.ndarray,
+        down: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray | None, tuple[int, ...]]:
+        raise NotImplementedError
+
+
+def _live_edge_row_ints(
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    down: np.ndarray,
+    n: int,
+) -> tuple[np.ndarray, list[int]]:
+    """The round's live subgraph, packed and as python-int adjacency rows.
+
+    Edges with a down endpoint are excluded; the packed matrix feeds
+    :func:`~repro.network.dynamics.spanning_structure` and the int rows
+    drive the arbitrary-precision mask BFS used for bridge checks.
+    """
+    live = ~down[senders] & ~down[receivers]
+    s = senders[live].astype(np.int64)
+    r = receivers[live].astype(np.int64)
+    packed = np.zeros((n, packed_words(n)), dtype=np.uint64)
+    np.bitwise_or.at(
+        packed,
+        (r, s >> 6),
+        np.uint64(1) << (s & 63).astype(np.uint64),
+    )
+    stride = packed.shape[1] * 8
+    data = packed.astype("<u8", copy=False).tobytes()
+    rows = [
+        int.from_bytes(data[u * stride : (u + 1) * stride], "little")
+        for u in range(n)
+    ]
+    return packed, rows
+
+
+def _forest_edges(packed: np.ndarray, rows: list[int], n: int) -> list[tuple[int, int]]:
+    """Spanning-forest edges (u < v) that exist in the live subgraph.
+
+    :func:`spanning_structure` returns each component's BFS tree plus repair
+    edges between component representatives; only edges also present in the
+    input are real, so the repair edges are filtered back out.
+    """
+    tree = spanning_structure(packed, n)
+    stride = tree.shape[1] * 8
+    data = tree.astype("<u8", copy=False).tobytes()
+    edges: list[tuple[int, int]] = []
+    for u in range(n):
+        row = int.from_bytes(data[u * stride : (u + 1) * stride], "little")
+        row &= rows[u]  # keep only edges that exist in the live subgraph
+        row >>= u + 1  # each undirected edge once, as (u, v) with u < v
+        while row:
+            lsb = row & -row
+            edges.append((u, u + lsb.bit_length()))
+            row ^= lsb
+    return edges
+
+
+def _is_bridge(rows: list[int], u: int, v: int) -> bool:
+    """Whether live edge ``(u, v)`` is a bridge: does removing it disconnect
+    ``v`` from ``u``?  Arbitrary-precision mask BFS from ``u``."""
+    target = 1 << v
+    reached = 1 << u
+    frontier = reached
+    while frontier:
+        grown = 0
+        m = frontier
+        while m:
+            lsb = m & -m
+            i = lsb.bit_length() - 1
+            m ^= lsb
+            row = rows[i]
+            if i == u:
+                row &= ~(1 << v)
+            elif i == v:
+                row &= ~(1 << u)
+            grown |= row
+        frontier = grown & ~reached
+        reached |= frontier
+        if reached & target:
+            return False
+    return True
+
+
+def _edge_positions_lost(
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    n: int,
+    pairs: list[tuple[int, int]],
+) -> np.ndarray:
+    """Boolean over the CSR edge list marking both directions of ``pairs``."""
+    keys = senders.astype(np.int64) * n + receivers.astype(np.int64)
+    wanted = [u * n + v for u, v in pairs] + [v * n + u for u, v in pairs]
+    return np.isin(keys, np.asarray(wanted, dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class BridgeLossStrategy(FaultStrategy):
+    """Erase bridges: each round, every cut edge of the live subgraph is
+    independently lost with ``probability``.
+
+    Bridges are found by checking each spanning-forest edge of the live
+    subgraph (non-tree edges are never bridges); a hit erases both directed
+    copies of the link for the round.  This is the worst place a given loss
+    rate can land — a lost bridge partitions the round's graph.
+    """
+
+    probability: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def bind(self, n: int) -> "BoundStrategy":
+        return _BoundBridgeLoss(self, n)
+
+
+class _BoundBridgeLoss(BoundStrategy):
+    def __init__(self, strategy: BridgeLossStrategy, n: int):
+        self.strategy = strategy
+        self.n = n
+
+    def plan_round(self, round_index, senders, receivers, indptr, down, rng):
+        n = self.n
+        packed, rows = _live_edge_row_ints(senders, receivers, down, n)
+        bridges = [
+            (u, v)
+            for u, v in _forest_edges(packed, rows, n)
+            if _is_bridge(rows, u, v)
+        ]
+        if not bridges:
+            return None, ()
+        hit = rng.random(len(bridges)) < self.strategy.probability
+        chosen = [edge for edge, h in zip(bridges, hit.tolist()) if h]
+        if not chosen:
+            return None, ()
+        return _edge_positions_lost(senders, receivers, n, chosen), ()
+
+
+@dataclass(frozen=True)
+class TargetedCrashStrategy(FaultStrategy):
+    """Permanently crash the highest-degree live node on a schedule.
+
+    Starting at round ``start`` and every ``period`` rounds after, the node
+    with the most live neighbours (lowest uid on ties) is crashed, up to
+    ``limit`` victims total.  Deterministic — no randomness is consumed, so
+    the strategy composes with any stochastic axis without perturbing its
+    draws.
+    """
+
+    start: int = 0
+    period: int = 1
+    limit: int = 1
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if self.limit < 0:
+            raise ValueError(f"limit must be >= 0, got {self.limit}")
+
+    def bind(self, n: int) -> "BoundStrategy":
+        return _BoundTargetedCrash(self, n)
+
+
+class _BoundTargetedCrash(BoundStrategy):
+    def __init__(self, strategy: TargetedCrashStrategy, n: int):
+        self.strategy = strategy
+        self.n = n
+        self.victims = 0
+
+    def plan_round(self, round_index, senders, receivers, indptr, down, rng):
+        s = self.strategy
+        if (
+            self.victims >= s.limit
+            or round_index < s.start
+            or (round_index - s.start) % s.period
+        ):
+            return None, ()
+        live = ~down[senders] & ~down[receivers]
+        degree = np.bincount(receivers[live], minlength=self.n).astype(np.int64)
+        # (degree, lowest uid) priority over live nodes only.
+        key = degree * self.n + (self.n - 1 - np.arange(self.n, dtype=np.int64))
+        key[down] = -1
+        uid = int(np.argmax(key))
+        if key[uid] < 0:
+            return None, ()
+        self.victims += 1
+        return None, (uid,)
+
+
+@dataclass(frozen=True)
+class BudgetedLossStrategy(FaultStrategy):
+    """Spend a global loss budget where it hurts most.
+
+    Each round the adversary erases up to ``per_round`` spanning-forest
+    links of the live subgraph (both directions each), lowest ``(u, v)``
+    first, until the run-wide ``budget`` of link erasures is exhausted.
+    Deterministic, so the hypothesis invariant "total targeted erasures
+    never exceed the budget" is exact rather than probabilistic.
+    """
+
+    budget: int = 8
+    per_round: int = 1
+
+    def __post_init__(self):
+        if self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        if self.per_round < 1:
+            raise ValueError(f"per_round must be >= 1, got {self.per_round}")
+
+    def bind(self, n: int) -> "BoundStrategy":
+        return _BoundBudgetedLoss(self, n)
+
+
+class _BoundBudgetedLoss(BoundStrategy):
+    def __init__(self, strategy: BudgetedLossStrategy, n: int):
+        self.strategy = strategy
+        self.n = n
+        self.spent = 0
+
+    def plan_round(self, round_index, senders, receivers, indptr, down, rng):
+        s = self.strategy
+        remaining = s.budget - self.spent
+        if remaining <= 0:
+            return None, ()
+        packed, rows = _live_edge_row_ints(senders, receivers, down, self.n)
+        targets = sorted(_forest_edges(packed, rows, self.n))
+        targets = targets[: min(s.per_round, remaining)]
+        if not targets:
+            return None, ()
+        self.spent += len(targets)
+        return _edge_positions_lost(senders, receivers, self.n, targets), ()
+
+
+# ----------------------------------------------------------------------
+# partitions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionModel:
+    """Scheduled network partitions that heal.
+
+    While a window ``[start, end)`` is open the node set is split into
+    ``groups`` classes by ``uid % groups`` and every cross-group edge is
+    removed from the round's effective CSR — the link does not exist, so
+    nothing is counted as dropped.  Windows must not overlap; between
+    windows the network is whole again.
+    """
+
+    windows: tuple[tuple[int, int], ...] = ()
+    groups: int = 2
+
+    def __post_init__(self):
+        if self.groups < 2:
+            raise ValueError(f"groups must be >= 2, got {self.groups}")
+        windows = tuple(
+            sorted((int(start), int(end)) for start, end in self.windows)
+        )
+        previous_end = 0
+        for start, end in windows:
+            if start < 0:
+                raise ValueError(f"window start must be >= 0, got {start}")
+            if end <= start:
+                raise ValueError(f"window [{start}, {end}) is empty or inverted")
+            if start < previous_end:
+                raise ValueError("partition windows must not overlap")
+            previous_end = end
+        object.__setattr__(self, "windows", windows)
+
+    def active_at(self, round_index: int) -> bool:
+        """Whether some partition window is open at ``round_index``."""
+        return any(start <= round_index < end for start, end in self.windows)
+
+
+# ----------------------------------------------------------------------
+# the fault model
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FaultModel:
     """Declarative description of one run's fault injection.
@@ -67,8 +407,13 @@ class FaultModel:
         Per-edge Bernoulli duplication probability in ``[0, 1]`` (an
         affected delivery is processed twice that round).
     crashes:
-        ``(uid, first_dead_round)`` pairs: node ``uid`` is silent and deaf
-        from round index ``first_dead_round`` on, permanently.
+        Crash schedule entries, each either ``(uid, down_round)`` — node
+        ``uid`` is silent and deaf from ``down_round`` on, permanently — or
+        ``(uid, down_round, up_round)`` — the node is down exactly during
+        ``[down_round, up_round)`` and rejoins with its pre-crash knowledge
+        frozen.  A uid may appear in several entries as long as its
+        intervals do not overlap (a permanent entry overlaps everything
+        after it).
     byzantine:
         Node uids whose coded wire traffic is adversarially substituted.
         Protocols without a verifiable static generation (the forwarding
@@ -77,6 +422,12 @@ class FaultModel:
         ``"malformed"`` (out-of-span vectors, rejected by the span guard)
         or ``"replay"`` (a fixed in-span source vector, accepted but almost
         never innovative).
+    partitions:
+        Optional :class:`PartitionModel` removing cross-group edges during
+        scheduled windows.
+    strategy:
+        Optional :class:`FaultStrategy` — an adaptive adversary consulted
+        every round with the round's topology.
 
     The model is frozen and built from plain data, so scenario fault
     factories pickle into sweep workers (REP201).
@@ -84,9 +435,11 @@ class FaultModel:
 
     loss: float = 0.0
     duplication: float = 0.0
-    crashes: tuple[tuple[int, int], ...] = ()
+    crashes: tuple[tuple[int, ...], ...] = ()
     byzantine: tuple[int, ...] = ()
     byzantine_mode: str = "malformed"
+    partitions: PartitionModel | None = None
+    strategy: FaultStrategy | None = None
 
     def __post_init__(self):
         if not 0.0 <= self.loss <= 1.0:
@@ -98,26 +451,55 @@ class FaultModel:
                 f"byzantine_mode must be one of {_BYZANTINE_MODES}, "
                 f"got {self.byzantine_mode!r}"
             )
-        crashes = tuple(sorted((int(uid), int(r)) for uid, r in self.crashes))
-        seen = set()
-        for uid, first_dead in crashes:
+        crashes = tuple(
+            sorted(tuple(int(value) for value in entry) for entry in self.crashes)
+        )
+        intervals: dict[int, list[tuple[int, int]]] = {}
+        for entry in crashes:
+            if len(entry) == 2:
+                uid, down = entry
+                up = _NEVER
+            elif len(entry) == 3:
+                uid, down, up = entry
+                if up <= down:
+                    raise ValueError(
+                        f"recovery round must follow the crash round, got {entry}"
+                    )
+            else:
+                raise ValueError(
+                    f"crash entries are (uid, down) or (uid, down, up), got {entry}"
+                )
             if uid < 0:
                 raise ValueError(f"crash uid must be >= 0, got {uid}")
-            if first_dead < 0:
-                raise ValueError(f"crash round must be >= 0, got {first_dead}")
-            if uid in seen:
-                raise ValueError(f"duplicate crash entry for node {uid}")
-            seen.add(uid)
+            if down < 0:
+                raise ValueError(f"crash round must be >= 0, got {down}")
+            intervals.setdefault(uid, []).append((down, up))
+        for uid, spans in intervals.items():
+            previous_up = -1
+            for down, up in sorted(spans):
+                if down < previous_up:
+                    raise ValueError(
+                        f"overlapping crash intervals for node {uid}"
+                    )
+                previous_up = up
         byzantine = tuple(sorted(int(uid) for uid in self.byzantine))
         if len(set(byzantine)) != len(byzantine):
             raise ValueError("duplicate Byzantine uids")
         if byzantine and byzantine[0] < 0:
             raise ValueError("Byzantine uids must be >= 0")
-        overlap = seen & set(byzantine)
+        overlap = set(intervals) & set(byzantine)
         if overlap:
             raise ValueError(
                 f"nodes cannot be both crashed and Byzantine: {sorted(overlap)}"
             )
+        if self.partitions is not None and not isinstance(
+            self.partitions, PartitionModel
+        ):
+            raise ValueError("partitions must be a PartitionModel")
+        if self.strategy is not None and not isinstance(
+            self.strategy, FaultStrategy
+        ):
+            raise ValueError("strategy must be a FaultStrategy")
         object.__setattr__(self, "crashes", crashes)
         object.__setattr__(self, "byzantine", byzantine)
 
@@ -125,7 +507,12 @@ class FaultModel:
     def active(self) -> bool:
         """Whether this model injects any fault at all."""
         return bool(
-            self.loss or self.duplication or self.crashes or self.byzantine
+            self.loss
+            or self.duplication
+            or self.crashes
+            or self.byzantine
+            or self.partitions is not None
+            or self.strategy is not None
         )
 
     def bind(self, n: int, rng: np.random.Generator) -> "BoundFaults":
@@ -198,26 +585,76 @@ class BoundFaults:
     """A :class:`FaultModel` bound to a run: size, rng stream, crash clock."""
 
     def __init__(self, model: FaultModel, n: int, rng: np.random.Generator):
-        for uid, _ in model.crashes:
+        iv_uid: list[int] = []
+        iv_down: list[int] = []
+        iv_up: list[int] = []
+        permanent = np.zeros(n, dtype=bool)
+        for entry in model.crashes:
+            uid = entry[0]
             if uid >= n:
                 raise ValueError(f"crash uid {uid} out of range for n={n}")
+            iv_uid.append(uid)
+            iv_down.append(entry[1])
+            if len(entry) == 3:
+                iv_up.append(entry[2])
+            else:
+                iv_up.append(_NEVER)
+                permanent[uid] = True
         for uid in model.byzantine:
             if uid >= n:
                 raise ValueError(f"Byzantine uid {uid} out of range for n={n}")
         self.model = model
         self.n = int(n)
         self.rng = rng
-        self.crash_round = np.full(n, _NEVER, dtype=np.int64)
-        for uid, first_dead in model.crashes:
-            self.crash_round[uid] = first_dead
+        self.iv_uid = np.asarray(iv_uid, dtype=np.int64)
+        self.iv_down = np.asarray(iv_down, dtype=np.int64)
+        self.iv_up = np.asarray(iv_up, dtype=np.int64)
+        self.permanent = permanent
+        #: Nodes the adaptive strategy crashed mid-run (grows monotonically).
+        self.strategy_crashed = np.zeros(n, dtype=bool)
+        self.strategy_state: BoundStrategy | None = (
+            model.strategy.bind(n) if model.strategy is not None else None
+        )
         self.byz = np.zeros(n, dtype=bool)
         if model.byzantine:
             self.byz[list(model.byzantine)] = True
-        #: Nodes never scheduled to crash — the population completion and
-        #: correctness are measured over (Byzantine nodes *are* survivors:
-        #: their receive path is honest).
-        self.survivor_indices = np.flatnonzero(self.crash_round == _NEVER)
         self.guard: SpanGuard | None = None
+
+    @property
+    def survivor_indices(self) -> np.ndarray:
+        """Nodes never permanently crashed — the population completion and
+        correctness are measured over.  Recovering nodes *are* survivors
+        (they are expected to reconverge after rejoining), Byzantine nodes
+        are survivors (their receive path is honest), and the set shrinks
+        when an adaptive strategy claims a victim — query it per round.
+        """
+        return np.flatnonzero(~self.permanent & ~self.strategy_crashed)
+
+    def down_at(self, round_index: int) -> np.ndarray:
+        """Boolean node vector: who is crashed during ``round_index``."""
+        down = np.zeros(self.n, dtype=bool)
+        if self.iv_uid.size:
+            hits = (self.iv_down <= round_index) & (round_index < self.iv_up)
+            down[self.iv_uid[hits]] = True
+        down |= self.strategy_crashed
+        return down
+
+    def recovery_metrics(
+        self, rounds_executed: int, survivor_completion_round: int | None
+    ) -> tuple[int, int | None]:
+        """Post-run recovery accounting: (recoveries, reconvergence rounds).
+
+        A recovery is a crash interval whose node actually came back up
+        within the executed window.  Reconvergence is measured from the
+        *last* such rejoin to the survivor completion round (``None`` when
+        the survivors never completed or nothing recovered).
+        """
+        observed = (self.iv_up != _NEVER) & (self.iv_up < rounds_executed)
+        recoveries = int(np.count_nonzero(observed))
+        if recoveries and survivor_completion_round is not None:
+            last_up = int(self.iv_up[observed].max())
+            return recoveries, max(0, survivor_completion_round - last_up)
+        return recoveries, None
 
     @property
     def wants_guard(self) -> bool:
@@ -251,7 +688,7 @@ class BoundFaults:
         the rng stream is identical across engines and independent of the
         round's graph.
         """
-        down = np.asarray(self.crash_round <= round_index)
+        down = self.down_at(round_index)
         wires: dict[int, int] = {}
         guard = self.guard
         if guard is not None:
@@ -261,15 +698,22 @@ class BoundFaults:
             else:
                 for uid in self.model.byzantine:
                     wires[uid] = guard.sample_outside(self.rng)
-        return RoundFaultPlan(self, down, wires)
+        return RoundFaultPlan(self, down, wires, round_index)
 
 
 class RoundFaultPlan:
     """One round's bound fault draws and the effective-CSR editor."""
 
-    def __init__(self, bound: BoundFaults, down: np.ndarray, wires: dict[int, int]):
+    def __init__(
+        self,
+        bound: BoundFaults,
+        down: np.ndarray,
+        wires: dict[int, int],
+        round_index: int = 0,
+    ):
         self.bound = bound
         self.down = down
+        self.round_index = int(round_index)
         #: Byzantine uid -> wire vector drawn/fixed for this round.
         self.wire_vectors = wires
         #: Non-empty only in replay mode with a guard: the substituted
@@ -289,11 +733,17 @@ class RoundFaultPlan:
         """Draw per-edge faults over the canonical CSR; return the effective CSR.
 
         The effective CSR removes edges with a crashed endpoint, removes
-        lost edges and discarded (malformed-Byzantine) edges, and repeats
-        duplicated edges adjacently — per-receiver segments stay in the
-        engines' canonical ascending-sender order with duplicates adjacent.
-        Loss is drawn before duplication, each only when its probability is
-        non-zero, so benign axes consume no rng.
+        partition-crossing edges while a window is open, removes lost edges
+        (Bernoulli plus strategy-targeted) and discarded
+        (malformed-Byzantine) edges, and repeats duplicated edges adjacently
+        — per-receiver segments stay in the engines' canonical
+        ascending-sender order with duplicates adjacent.  Loss is drawn
+        before duplication, each only when its probability is non-zero, and
+        the adaptive strategy is consulted after both, so benign axes
+        consume no rng and existing stochastic axes keep their draw order.
+        Strategy crashes take effect immediately: ``self.down`` is final
+        only after this method returns, so engines must compute their
+        sending mask afterwards.
         """
         model = self.bound.model
         rng = self.bound.rng
@@ -311,7 +761,22 @@ class RoundFaultPlan:
             if model.duplication > 0.0
             else np.zeros(edges, dtype=bool)
         )
+        strategy = self.bound.strategy_state
+        if strategy is not None:
+            targeted, crashed = strategy.plan_round(
+                self.round_index, senders, receivers, indptr, self.down, rng
+            )
+            for uid in crashed:
+                self.bound.strategy_crashed[uid] = True
+                self.down[uid] = True
+            if targeted is not None:
+                lost |= targeted
         viable = ~self.down[senders] & ~self.down[receivers]
+        if model.partitions is not None and model.partitions.active_at(
+            self.round_index
+        ):
+            group = np.arange(n, dtype=np.int64) % model.partitions.groups
+            viable &= group[senders] == group[receivers]
         byz_edge = self.bound.byz[senders]
         if self.substitute:
             rejected = np.zeros(edges, dtype=bool)
@@ -340,8 +805,8 @@ class RoundFaultPlan:
 
         ``sending`` must already exclude down nodes.  A transmission toward
         a crashed receiver is counted nowhere (the radio it would reach is
-        off); faults only score against deliveries that would otherwise
-        have happened.
+        off), and a partition-crossing edge simply does not exist; faults
+        only score against deliveries that would otherwise have happened.
         """
         if self._senders is None:
             raise RuntimeError("bind_edges must run before account")
@@ -360,22 +825,52 @@ class RoundFaultPlan:
         )
 
 
-def crash_schedule_from_churn(churn, rounds: int) -> tuple[tuple[int, int], ...]:
-    """Derive a permanent crash schedule from a churn replay.
+def crash_schedule_from_churn(
+    churn, rounds: int, *, recoveries: bool = False
+) -> tuple[tuple[int, ...], ...]:
+    """Derive a crash schedule from a churn replay.
 
     Replays ``rounds`` rounds of a :class:`~repro.network.dynamics.ChurnProcess`
-    built with ``record_activity=True`` (and, for true-crash semantics,
-    ``lifeline=False``) and returns each departed node's first inactive
-    round as a ``FaultModel.crashes`` schedule.  The process is reset before
-    and after the replay, so the caller can still hand it to an engine.
+    built with ``record_activity=True`` and returns a
+    ``FaultModel.crashes`` schedule.  The process is reset before and after
+    the replay, so the caller can still hand it to an engine.
+
+    With ``recoveries=False`` (for true-crash semantics, pair with
+    ``lifeline=False``) each departed node contributes one permanent
+    ``(uid, first_dead_round)`` entry.  With ``recoveries=True`` every
+    maximal inactive run becomes an interval: ``(uid, down, up)`` when the
+    node re-attached within the window, or a permanent ``(uid, down)`` when
+    it was still down at the window's end — including a departure on the
+    final replayed round, which a naive down/up event pairing would
+    silently drop.
     """
     if not getattr(churn, "record_activity", False):
         raise ValueError("crash_schedule_from_churn needs record_activity=True")
     churn.reset()
     churn.next_batch(rounds)
-    first_dead: dict[int, int] = {}
-    for round_index, active in enumerate(churn.activity_history[:rounds]):
-        for uid in np.flatnonzero(~np.asarray(active)).tolist():
-            first_dead.setdefault(int(uid), round_index)
+    history = [np.asarray(active) for active in churn.activity_history[:rounds]]
     churn.reset()
-    return tuple(sorted(first_dead.items()))
+    if not recoveries:
+        first_dead: dict[int, int] = {}
+        for round_index, active in enumerate(history):
+            for uid in np.flatnonzero(~active).tolist():
+                first_dead.setdefault(int(uid), round_index)
+        return tuple(sorted(first_dead.items()))
+    intervals: list[tuple[int, ...]] = []
+    if not history:
+        return ()
+    n = history[0].size
+    for uid in range(n):
+        down_round: int | None = None
+        for round_index, active in enumerate(history):
+            if not active[uid]:
+                if down_round is None:
+                    down_round = round_index
+            elif down_round is not None:
+                intervals.append((uid, down_round, round_index))
+                down_round = None
+        if down_round is not None:
+            # Still down when the window closed (even if the run started on
+            # the very last round): permanent from the caller's viewpoint.
+            intervals.append((uid, down_round))
+    return tuple(sorted(intervals))

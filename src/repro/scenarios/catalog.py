@@ -28,7 +28,13 @@ from ..network.dynamics import (
     ScheduleAdversary,
     TIntervalEnforcer,
 )
-from ..network.faults import FaultModel, crash_schedule_from_churn
+from ..network.faults import (
+    BridgeLossStrategy,
+    BudgetedLossStrategy,
+    FaultModel,
+    PartitionModel,
+    crash_schedule_from_churn,
+)
 
 __all__ = [
     "SCENARIOS",
@@ -269,6 +275,54 @@ def _hostile_mix_faults(n: int, seed: int) -> FaultModel:
     )
 
 
+def _recovery_schedule(n: int, seed: int, exclude: tuple[int, ...] = ()) -> tuple:
+    """A crash–recovery interval schedule replayed from recorded churn.
+
+    Unlike :func:`_crash_schedule` the churn keeps its lifeline semantics —
+    departed nodes can toggle back up — and the replay emits
+    ``(uid, down, up)`` intervals: nodes rejoin with stale state mid-run.
+    Runs still down at the window's end stay permanent ``(uid, down)``
+    entries.
+    """
+    churn = ChurnProcess(
+        _edge_markov_process(n, seed + 7),
+        max_churn=2,
+        min_active=max(2, (3 * n) // 4),
+        seed=seed + 211,
+        record_activity=True,
+    )
+    schedule = crash_schedule_from_churn(churn, rounds=2 * n, recoveries=True)
+    return tuple(entry for entry in schedule if entry[0] not in exclude)
+
+
+def _bridge_loss_faults(n: int, seed: int) -> FaultModel:
+    return FaultModel(strategy=BridgeLossStrategy(probability=0.5))
+
+
+def _crash_recover_faults(n: int, seed: int) -> FaultModel:
+    return FaultModel(crashes=_recovery_schedule(n, seed))
+
+
+def _partition_heal_faults(n: int, seed: int) -> FaultModel:
+    # Two healing partition windows sized to the network: an early split
+    # while dissemination ramps up and a later one after partial progress.
+    return FaultModel(
+        partitions=PartitionModel(
+            windows=((n // 2, n), (2 * n, 2 * n + max(1, n // 2))), groups=2
+        )
+    )
+
+
+def _budgeted_mix_faults(n: int, seed: int) -> FaultModel:
+    # Background stochastic loss, churn-replayed crash–recovery intervals,
+    # and a run-wide budget of targeted spanning-link erasures.
+    return FaultModel(
+        loss=0.05,
+        crashes=_recovery_schedule(n, seed, exclude=(0,)),
+        strategy=BudgetedLossStrategy(budget=max(8, n // 2), per_round=2),
+    )
+
+
 register_scenario(
     Scenario(
         name="edge_markov",
@@ -425,5 +479,57 @@ register_scenario(
         process="waypoint",
         guarantees=("connected", "crashes permanent"),
         faults=_hostile_mix_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="bridge_loss_markov",
+        description=(
+            "edge-Markov evolution where an adaptive adversary erases each "
+            "live cut edge with probability 0.5 every round"
+        ),
+        build=_build_edge_markov,
+        process="edge-markov",
+        guarantees=("connected", "adaptive bridge loss"),
+        faults=_bridge_loss_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="crash_recover_churn",
+        description=(
+            "edge-Markov evolution with churn-replayed crash-recovery "
+            "intervals: nodes rejoin mid-run with stale state"
+        ),
+        build=_build_edge_markov,
+        process="churn",
+        guarantees=("connected", "crashes recover"),
+        faults=_crash_recover_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="partition_heal_waypoint",
+        description=(
+            "waypoint radio split into 2 uid-parity groups over two healing "
+            "partition windows"
+        ),
+        build=_build_waypoint_radio,
+        process="waypoint",
+        guarantees=("connected", "partitions heal"),
+        faults=_partition_heal_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="budgeted_adversary_mix",
+        description=(
+            "edge-Markov evolution under 5% loss + crash-recovery intervals "
+            "+ a budgeted adversary erasing 2 spanning links per round"
+        ),
+        build=_build_edge_markov,
+        process="edge-markov",
+        guarantees=("connected", "crashes recover", "adaptive budgeted loss"),
+        faults=_budgeted_mix_faults,
     )
 )

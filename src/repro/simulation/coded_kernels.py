@@ -32,15 +32,21 @@ generator in the same order, composed masks are XORs of bit-identical basis
 rows in the same order, and innovative/decode flags replicate the per-node
 ``Subspace`` semantics exactly (``tests/test_coded_kernels.py``).
 
-The multi-phase kernels assume the phases stay *globally consistent*: the
-id-flood windows (naive) agree across nodes and at most one node believes
-itself elected leader (greedy).  Both hold whenever the flood windows span
-``n - 1`` connected rounds — the defaults — and every in-repo adversary and
-scenario satisfies them.  If a run ever leaves that regime (which requires a
-partial decode failure followed by conflicting re-floods — the same regime
-where the object engines start mixing incompatible generations), the kernel
-raises ``RuntimeError`` loudly instead of silently diverging; rerun with
-``engine="mask"`` to reproduce the object engines' generic behaviour.
+The multi-phase kernels do *not* assume the phases stay globally
+consistent.  Under crash–recovery, partition or adaptive-strategy faults a
+node can miss part of the id flood (naive) or of the leader election
+(greedy) and start a *different* generation from its peers — differing
+selected windows, several self-elected leaders, possibly of different
+sizes.  Both kernels mirror the object engines' per-node lazy generations
+exactly: concurrent generations are grouped by their size ``k`` into one
+:class:`GF2BasisBatch` per distinct ``k``, a node with no generation adopts
+the one of the first coded message in its inbox
+(``_generation_from_message``), and messages whose ``k`` differs from the
+receiver's generation are rejected (the ``num_coefficients`` check).
+Mixed-span decodes can therefore yield *foreign* tokens — wrong payloads
+for placement ids, or ids outside the placement entirely — which are
+learned and marked delivered just like the object ``_learn_token`` path, so
+faulted runs stay byte-identical across all three engines.
 """
 
 from __future__ import annotations
@@ -108,6 +114,52 @@ def _delivery_pairs(
     if not receiver_parts:
         return empty, empty
     return np.concatenate(receiver_parts), np.concatenate(sender_parts)
+
+
+def _group_ranks(
+    groups: dict[int, GF2BasisBatch], gen_of: np.ndarray, n: int
+) -> np.ndarray:
+    """Per-node coded rank across the concurrent generation groups."""
+    ranks = np.zeros(n, dtype=np.int64)
+    for k, core in groups.items():
+        # repro: allow[REP401] loop is over distinct generation sizes (one except under faults)
+        members = gen_of == k
+        ranks[members] = core.ranks[members]
+    return ranks
+
+
+def _deliver_grouped(
+    groups: dict[int, GF2BasisBatch],
+    gen_of: np.ndarray,
+    coded_send: dict[int, np.ndarray],
+    receivers: np.ndarray,
+    senders: np.ndarray,
+    changed: np.ndarray,
+) -> None:
+    """Adopt orphan receivers, then insert same-generation pairs per group.
+
+    A receiver with no generation joins the group of the *first* message in
+    its inbox — the pair arrays are in the object engines' inbox order, so
+    ``np.unique``'s first-occurrence index is exactly the message
+    ``_generation_from_message`` would have been built from.  Pairs whose
+    sender and receiver generations differ are then rejected, mirroring the
+    object ``num_coefficients == state.generation.k`` check.
+    """
+    orphan = gen_of[receivers] == -1
+    if orphan.any():
+        first_receivers, first_index = np.unique(receivers, return_index=True)
+        adopt = gen_of[first_receivers] == -1
+        gen_of[first_receivers[adopt]] = gen_of[senders[first_index[adopt]]]
+    keep = gen_of[receivers] == gen_of[senders]
+    receivers, senders = receivers[keep], senders[keep]
+    if not receivers.size:
+        return
+    pair_k = gen_of[senders]
+    for k in np.unique(pair_k).tolist():
+        # repro: allow[REP401] loop is over distinct generation sizes (one except under faults)
+        sel = pair_k == k
+        flags = groups[k].insert_batch(receivers[sel], coded_send[k][senders[sel]])
+        changed[receivers[sel][flags]] = True
 
 
 # ----------------------------------------------------------------------
@@ -347,10 +399,15 @@ class NaiveCodedKernel(RoundKernel):
     ``ids_per_message`` lowest set bits of ``(known | candidates) & ~delivered``
     (token bit order *is* ascending-id order), one
     :func:`~repro.simulation.kernels._select_lowest_bits` pass for the whole
-    network, and delivery is one neighbour-OR.  The broadcast window seeds a
-    :class:`GF2BasisBatch` over the agreed window (``span_cap = k`` — all
-    sources are consistent) that every node inserts into; decode at the
-    window boundary is a packed learn of the selected tokens.
+    network, and delivery is one neighbour-OR.  The broadcast window groups
+    nodes by their selected window: every distinct generation size ``k``
+    gets one :class:`GF2BasisBatch` (``span_cap = k`` only when all its
+    creators selected the *same* window — distinct same-size windows mix
+    spans, where capping would drop innovative rows), nodes without a
+    window adopt the generation of the first coded message they receive,
+    and decode at the boundary is per node (a mixed-span decode can yield
+    foreign tokens, recorded like the object ``_learn_token``).  Benign
+    runs collapse to a single group — the pre-fault fast path unchanged.
 
     Knowledge, delivered and candidate state are materialised back into the
     nodes by :meth:`to_nodes`; the transient within-window coding state is
@@ -389,19 +446,24 @@ class NaiveCodedKernel(RoundKernel):
         self.payload_ints = [
             encode_block(config, [t], tokens_per_block=1) for t in self.tokens
         ]
-        self._learn_log: list[list[int]] = [[] for _ in range(self.n)]
+        #: Tokens learned at decode boundaries, as Token objects in learn
+        #: order: a mixed-span decode can produce a placement id with a
+        #: wrong payload, or an id outside the placement entirely.
+        self._learn_log: list[list] = [[] for _ in range(self.n)]
+        self._foreign_ids: list[set] = [set() for _ in range(self.n)]
+        self._any_foreign = False
         self._incomplete = {
             uid for uid in range(self.n) if not bool((self.known[uid] == self.full).all())
         }
-        # Broadcast-window state (rebuilt per iteration).
-        self.core: GF2BasisBatch | None = None
-        self.member = np.zeros(self.n, dtype=bool)  # has a GenerationState
+        # Broadcast-window state (rebuilt per iteration): one batched basis
+        # per distinct generation size, nodes tagged by their group's k.
+        self.groups: dict[int, GF2BasisBatch] = {}
+        self.group_bits: dict[int, int] = {}
+        self.gen_of = np.full(self.n, -1, dtype=np.int64)
         self.window = np.zeros(self.n, dtype=bool)  # had a non-empty _selected
-        self.selected: list[int] = []
-        self.gen_k = 0
-        self.message_bits = 0
+        self.sel_rows = np.zeros_like(self.known)
         self._flood_send: np.ndarray | None = None
-        self._coded_send: np.ndarray | None = None
+        self._coded_send: dict[int, np.ndarray] = {}
         self._send_active: np.ndarray | None = None
 
     # ------------------------------------------------------------------
@@ -413,10 +475,12 @@ class NaiveCodedKernel(RoundKernel):
         return "broadcast", offset - self.flood_rounds, iteration
 
     def _drop_generation(self) -> None:
-        self.core = None
-        self.member[:] = False
+        self.groups = {}
+        self.group_bits = {}
+        self.gen_of[:] = -1
         self.window[:] = False
-        self.selected = []
+        self.sel_rows[:] = 0
+        self._coded_send = {}
 
     # ------------------------------------------------------------------
     def compose_all(self, round_index):
@@ -436,60 +500,71 @@ class NaiveCodedKernel(RoundKernel):
             active = window.any(axis=1)
             window[~active] = 0
             self._flood_send = window
-            self._coded_send = None
+            self._coded_send = {}
             self._send_active = active
             return active, np.where(active, 4 + id_bits, 0)
         if offset == 0:
             self._start_broadcast(iteration)
         self._flood_send = None
-        if self.core is None:
-            active = np.zeros(self.n, dtype=bool)
-            self._send_active = active
-            return active, np.zeros(self.n, dtype=np.int64)
-        active, combined = self.core.compose_random(
-            self.rngs, np.flatnonzero(self.member)
-        )
-        self._coded_send = combined
+        active = np.zeros(self.n, dtype=bool)
+        sizes = np.zeros(self.n, dtype=np.int64)
+        self._coded_send = {}
+        for k in sorted(self.groups):
+            # repro: allow[REP401] loop is over distinct generation sizes (one except under faults)
+            members = np.flatnonzero(self.gen_of == k)
+            act, combined = self.groups[k].compose_random(self.rngs, members)
+            self._coded_send[k] = combined
+            active |= act
+            sizes[act] = self.group_bits[k]
         self._send_active = active
-        return active, np.where(active, self.message_bits, 0)
+        return active, sizes
 
     def _start_broadcast(self, iteration: int) -> None:
         nonempty = self.cand.any(axis=1)
         self._drop_generation()
         if not nonempty.any():
             return
-        rows = self.cand[nonempty]
-        if not bool((rows == rows[0]).all()):
-            raise RuntimeError(
-                "NaiveCodedKernel: candidate windows diverged across nodes "
-                "(a partial decode failure re-floods conflicting ids); rerun "
-                "with engine='mask' for the object engines' generic handling"
-            )
         self.window = nonempty.copy()
-        self.member = nonempty.copy()
-        self.selected = list(_row_bits(rows[0]))
-        k = len(self.selected)
-        self.gen_k = k
+        self.sel_rows = np.zeros_like(self.known)
+        self.sel_rows[nonempty] = self.cand[nonempty]
+        uids = np.flatnonzero(nonempty)
+        distinct, inverse = np.unique(
+            self.cand[nonempty], axis=0, return_inverse=True
+        )
+        sizes_k = _popcount_rows(distinct).tolist()
+        variants_per_k: dict[int, int] = {}
+        for k in sizes_k:
+            variants_per_k[k] = variants_per_k.get(k, 0) + 1
         generation_id = iteration + 1
-        self.message_bits = (
-            k + self.payload_bits_per_dim + max(1, int(generation_id).bit_length())
-        )
-        self.core = GF2BasisBatch(
-            self.n, k + self.payload_bits_per_dim, span_cap=k
-        )
-        for i, index in enumerate(self.selected):
-            # repro: allow[REP401] once-per-iteration seeding over k selected dims, batched over holders
-            holds = (self.known[:, index >> 6] >> np.uint64(index & 63)) & np.uint64(1)
-            # repro: allow[REP401] once-per-iteration seeding over k selected dims, batched over holders
-            holders = np.flatnonzero(nonempty & holds.astype(bool))
-            if holders.size:
-                source = (1 << i) | (self.payload_ints[index] << k)
-                # repro: allow[REP401] once-per-iteration seeding over k selected dims, batched over holders
-                vectors = np.broadcast_to(
-                    masks_to_packed([source], self.core.words),
-                    (holders.size, self.core.words),
+        genid_bits = max(1, int(generation_id).bit_length())
+        one = np.uint64(1)
+        for variant, k in enumerate(sizes_k):
+            # repro: allow[REP401] loop is over distinct selected windows (one except under faults)
+            core = self.groups.get(k)
+            if core is None:
+                length = k + self.payload_bits_per_dim
+                core = (
+                    GF2BasisBatch(self.n, length, span_cap=k)
+                    if variants_per_k[k] == 1
+                    else GF2BasisBatch(self.n, length)
                 )
-                self.core.insert_batch(holders, vectors)
+                self.groups[k] = core
+                self.group_bits[k] = k + self.payload_bits_per_dim + genid_bits
+            creators = uids[inverse == variant]
+            self.gen_of[creators] = k
+            for i, index in enumerate(_row_bits(distinct[variant])):
+                # repro: allow[REP401] once-per-iteration seeding over k selected dims, batched over holders
+                shift = np.uint64(index & 63)
+                holds = (self.known[creators, index >> 6] >> shift) & one
+                holders = creators[holds.astype(bool)]
+                if holders.size:
+                    source = (1 << i) | (self.payload_ints[index] << k)
+                    # repro: allow[REP401] once-per-iteration seeding over k selected dims, batched over holders
+                    vectors = np.broadcast_to(
+                        masks_to_packed([source], core.words),
+                        (holders.size, core.words),
+                    )
+                    core.insert_batch(holders, vectors)
 
     # ------------------------------------------------------------------
     def deliver_all(self, round_index, indices, indptr, active, counts):
@@ -500,15 +575,12 @@ class NaiveCodedKernel(RoundKernel):
             self.cand, _ = _select_lowest_bits(self.cand, self.ids_per_message, None)
             return np.zeros(self.n, dtype=bool)
         changed = np.zeros(self.n, dtype=bool)
-        if self.core is not None:
-            had_rank = self.member & (self.core.ranks > 0)
-            receivers, senders = _delivery_pairs(indices, indptr, self._send_active)
-            if receivers.size:
-                self.member[receivers] = True
-                flags = self.core.insert_batch(receivers, self._coded_send[senders])
-                changed[receivers[flags]] = True
-        else:
-            had_rank = np.zeros(self.n, dtype=bool)
+        had_rank = _group_ranks(self.groups, self.gen_of, self.n) > 0
+        receivers, senders = _delivery_pairs(indices, indptr, self._send_active)
+        if receivers.size:
+            _deliver_grouped(
+                self.groups, self.gen_of, self._coded_send, receivers, senders, changed
+            )
         if offset == self.broadcast_rounds - 1:
             known_changed = self._finish_broadcast()
             # The window boundary clears every node's coding state, so the
@@ -518,34 +590,66 @@ class NaiveCodedKernel(RoundKernel):
         self._counts_cache = None
         return changed
 
+    def _learn_decoded(self, uid: int, token) -> bool:
+        """The object ``_learn_token`` + ``delivered.add``; True iff known grew."""
+        bit = self.token_index.get(token.token_id)
+        if bit is None:
+            # Foreign id: enters known and delivered together, so it never
+            # becomes a flood candidate (undelivered = known - delivered).
+            if token.token_id in self._foreign_ids[uid]:
+                return False
+            self._foreign_ids[uid].add(token.token_id)
+            self._learn_log[uid].append(token)
+            self._any_foreign = True
+            return True
+        word, shift = bit >> 6, np.uint64(bit & 63)
+        fresh = not bool((int(self.known[uid, word]) >> (bit & 63)) & 1)
+        if fresh:
+            self.known[uid, word] |= np.uint64(1) << shift
+            self._learn_log[uid].append(token)
+        self.delivered[uid, word] |= np.uint64(1) << shift
+        return fresh
+
     def _finish_broadcast(self) -> np.ndarray:
         known_changed = np.zeros(self.n, dtype=bool)
-        if self.core is not None and self.selected:
-            selected_row = np.zeros(self.width, dtype=np.uint64)
-            for index in self.selected:
-                selected_row[index >> 6] |= np.uint64(1 << (index & 63))
-            members = np.flatnonzero(self.member)
-            decodable = members[self.core.ranks[members] >= self.gen_k]
-            if decodable.size:
-                new = selected_row & ~self.known[decodable]
-                known_changed[decodable] = new.any(axis=1)
-                for uid, row in zip(decodable.tolist(), new):
-                    if row.any():
-                        self._learn_log[uid].extend(_row_bits(row))
-                self.known[decodable] |= selected_row
-                self.delivered[decodable] |= selected_row
-            # Window nodes that failed to decode only mark the selected
-            # tokens they already hold.
-            undecoded = self.window.copy()
-            undecoded[decodable] = False
-            self.delivered[undecoded] |= selected_row & self.known[undecoded]
+        for k in sorted(self.groups):
+            # repro: allow[REP401] loop is over distinct generation sizes (one except under faults)
+            core = self.groups[k]
+            members = np.flatnonzero(self.gen_of == k)
+            # can_decode: full coefficient-block rank (equals the plain rank
+            # for in-span traffic, so benign runs decode exactly as before).
+            decodable = members[core.coefficient_ranks(k)[members] >= k]
+            if not decodable.size:
+                continue
+            ok, payloads = core.decode_payload_masks_batch(k, decodable)
+            for pos, uid in enumerate(decodable.tolist()):
+                # repro: allow[REP401] decode loop over boundary-decodable nodes, once per window
+                if not ok[pos]:
+                    continue
+                for payload in packed_to_masks(payloads[pos]):
+                    for token in decode_block(self.config, payload, tokens_per_block=1):
+                        if self._learn_decoded(uid, token):
+                            known_changed[uid] = True
+        # Every window node marks the selected tokens it now holds
+        # delivered (a failed or garbage decode leaves the rest flooding).
+        self.delivered |= self.sel_rows & self.known
         self.cand[:] = 0
         self._drop_generation()
         return known_changed
 
     # ------------------------------------------------------------------
     def _known_counts_now(self) -> np.ndarray:
-        return _popcount_rows(self.known)
+        counts = _popcount_rows(self.known)
+        if self._any_foreign:
+            counts += np.fromiter(
+                (len(ids) for ids in self._foreign_ids), dtype=np.int64, count=self.n
+            )
+        return counts
+
+    def completed_flags(self) -> np.ndarray:
+        # Placement-bit coverage: foreign tokens inflate known_counts but
+        # never complete a node.
+        return (self.known == self.full).all(axis=1)
 
     def all_complete(self) -> bool:
         full = self.full
@@ -558,18 +662,22 @@ class NaiveCodedKernel(RoundKernel):
     def _knows(self, uid: int, token_id) -> bool:
         bit = self.token_index.get(token_id)
         if bit is None:
-            return False
+            return token_id in self._foreign_ids[uid]
         return bool((int(self.known[uid, bit >> 6]) >> (bit & 63)) & 1)
+
+    def _known_ids(self, uid: int) -> list:
+        ids = [self.tokens[i].token_id for i in _row_bits(self.known[uid])]
+        ids.extend(self._foreign_ids[uid])
+        return ids
 
     def state_view(self, uid: int) -> NodeStateView:
         counts = self.known_counts()
-        rank = int(self.core.ranks[uid]) if self.core is not None and self.member[uid] else 0
+        k = int(self.gen_of[uid])
+        rank = int(self.groups[k].ranks[uid]) if k >= 0 else 0
         return NodeStateView(
             uid=uid,
             rank=rank,
-            known_supplier=lambda: [
-                self.tokens[i].token_id for i in _row_bits(self.known[uid])
-            ],
+            known_supplier=lambda: self._known_ids(uid),
             known_count=int(counts[uid]),
             membership=lambda token_id: self._knows(uid, token_id),
         )
@@ -577,17 +685,19 @@ class NaiveCodedKernel(RoundKernel):
     def to_nodes(self, nodes):
         for uid, node in enumerate(nodes):
             node.known.clear()
-            for i in self._initial_order[uid] + self._learn_log[uid]:
+            for i in self._initial_order[uid]:
                 token = self.tokens[i]
+                node.known[token.token_id] = token
+            for token in self._learn_log[uid]:
                 node.known[token.token_id] = token
             node.delivered = {
                 self.tokens[i].token_id for i in _row_bits(self.delivered[uid])
-            }
+            } | self._foreign_ids[uid]
             node._candidate_ids = {
                 self.tokens[i].token_id for i in _row_bits(self.cand[uid])
             }
             node._selected = (
-                [self.tokens[i].token_id for i in self.selected]
+                [self.tokens[i].token_id for i in _row_bits(self.sel_rows[uid])]
                 if self.window[uid]
                 else []
             )
@@ -609,11 +719,17 @@ class GreedyForwardKernel(RoundKernel):
       and eligibility are integer bit masks plus insertion-order index lists.
     * **elect** — the max-``(count, uid)`` flood is one vectorised
       ``maximum.reduceat`` per round over encoded comparison keys.
-    * **broadcast** — the elected leader's block generation is seeded into a
-      :class:`GF2BasisBatch` (``span_cap = #blocks``; a single leader's
-      sources are consistent by construction) and the window runs exactly
-      like :class:`IndexedBroadcastKernel`, with block decode + delivered
-      bookkeeping at the boundary.
+    * **broadcast** — each self-elected leader's block generation is seeded
+      into a :class:`GF2BasisBatch`, one per distinct generation size
+      (``span_cap = #blocks`` when a size has a single leader; several
+      leaders of the same size mix spans, where capping would drop
+      innovative rows).  Benign runs elect exactly one leader and collapse
+      to the old single-generation fast path; crash/recovery faults can
+      leave stale nodes believing they won, which the object engines model
+      as concurrent generations — non-leaders adopt the generation of the
+      first coded message they receive and reject mismatched sizes, and a
+      mixed-span decode can surface foreign or garbled tokens, recorded
+      exactly like the object ``_learn_token``.
 
     :meth:`to_nodes` materialises knowledge, delivered sets and termination
     flags; transient mid-phase scratch (gather election state, the coding
@@ -662,15 +778,21 @@ class GreedyForwardKernel(RoundKernel):
         self._incomplete = {
             uid for uid in range(self.n) if self.known_int[uid] != self.full
         }
-        # Broadcast-window state (rebuilt per iteration).
-        self.core: GF2BasisBatch | None = None
-        self.member = np.zeros(self.n, dtype=bool)
-        self.gen_k = 0
-        self.message_bits = 0
-        self._leader = -1
-        self._leader_chosen: list[int] = []
+        #: Placement bits learned with a *wrong* payload (mixed-span decode
+        #: garbage) and tokens outside the placement entirely; both rare,
+        #: both faithful to the object ``_learn_token``.
+        self._overrides: list[dict[int, object]] = [dict() for _ in range(self.n)]
+        self._foreign: list[list] = [[] for _ in range(self.n)]
+        self._foreign_ids: list[set] = [set() for _ in range(self.n)]
+        self._any_foreign = False
+        # Broadcast-window state (rebuilt per iteration): one batched basis
+        # per distinct generation size, nodes tagged by their group's k.
+        self.groups: dict[int, GF2BasisBatch] = {}
+        self.group_bits: dict[int, int] = {}
+        self.gen_of = np.full(self.n, -1, dtype=np.int64)
+        self._leader_chosen: dict[int, list[int]] = {}
         self._chosen: list[list[int] | None] = [None] * self.n
-        self._coded_send: np.ndarray | None = None
+        self._coded_send: dict[int, np.ndarray] = {}
         self._send_active: np.ndarray | None = None
         self._elect_keys: np.ndarray | None = None
 
@@ -704,7 +826,7 @@ class GreedyForwardKernel(RoundKernel):
         n = self.n
         active = np.zeros(n, dtype=bool)
         sizes = np.zeros(n, dtype=np.int64)
-        self._coded_send = None
+        self._coded_send = {}
         self._elect_keys = None
         if phase == "gather":
             if offset == 0:
@@ -747,70 +869,80 @@ class GreedyForwardKernel(RoundKernel):
             return active, sizes
         if offset == 0:
             self._start_broadcast(iteration)
-        if self.core is None:
+        if not self.groups:
             self._send_active = active
             return active, sizes
-        active, combined = self.core.compose_random(
-            self.rngs, np.flatnonzero(self.member & ~self.exhausted)
-        )
-        self._coded_send = combined
+        for k in sorted(self.groups):
+            # repro: allow[REP401] loop is over distinct generation sizes (one except under faults)
+            members = np.flatnonzero(self.gen_of == k)
+            act, combined = self.groups[k].compose_random(self.rngs, members)
+            self._coded_send[k] = combined
+            active |= act
+            sizes[act] = self.group_bits[k]
         self._send_active = active
-        return active, np.where(active, self.message_bits, 0)
+        return active, sizes
+
+    def _drop_groups(self) -> None:
+        self.groups = {}
+        self.group_bits = {}
+        self.gen_of[:] = -1
+        self._leader_chosen = {}
+        self._coded_send = {}
 
     def _start_broadcast(self, iteration: int) -> None:
-        self.core = None
-        self.member[:] = False
-        self._leader = -1
-        self._leader_chosen = []
+        self._drop_groups()
         live = ~self.exhausted
         self.exhausted |= live & (self.lead_count <= 0)
         live = ~self.exhausted
         self_leaders = np.flatnonzero(live & (self.lead_uid == np.arange(self.n)))
-        if self_leaders.size > 1:
-            raise RuntimeError(
-                "GreedyForwardKernel: the leader election did not converge "
-                "(multiple nodes believe they won); rerun with engine='mask' "
-                "for the object engines' generic multi-generation handling"
-            )
         if self_leaders.size == 0:
             return
-        leader = int(self_leaders[0])
-        pending = self.known_int[leader] & ~self.delivered_int[leader]
         capacity = self.max_blocks * self.tokens_per_block
-        chosen = []
-        for i in _row_bits(pending):
-            chosen.append(i)
-            if len(chosen) == capacity:
-                break
-        if not chosen:
-            return
-        blocks = [
-            chosen[i : i + self.tokens_per_block]
-            for i in range(0, len(chosen), self.tokens_per_block)
-        ]
-        k = len(blocks)
-        self.gen_k = k
         generation_id = iteration + 1
-        self.message_bits = (
-            k + self.block_payload_bits + max(1, int(generation_id).bit_length())
-        )
-        self.core = GF2BasisBatch(
-            self.n, k + self.block_payload_bits, span_cap=k
-        )
-        leader_array = np.array([leader], dtype=np.int64)
-        for i, block in enumerate(blocks):
-            payload = encode_block(
-                self.config,
-                [self.tokens[j] for j in block],
-                self.tokens_per_block,
+        genid_bits = max(1, int(generation_id).bit_length())
+        plans: dict[int, list[tuple[int, list[list[int]]]]] = {}
+        for leader in self_leaders.tolist():
+            # repro: allow[REP401] loop over self-elected leaders (one except under faults)
+            pending = self.known_int[leader] & ~self.delivered_int[leader]
+            chosen = []
+            for i in _iter_bits(pending):
+                chosen.append(i)
+                if len(chosen) == capacity:
+                    break
+            if not chosen:
+                # A leader with nothing pending starts no generation; like
+                # the object node it may still adopt a neighbour's.
+                continue
+            blocks = [
+                chosen[i : i + self.tokens_per_block]
+                for i in range(0, len(chosen), self.tokens_per_block)
+            ]
+            plans.setdefault(len(blocks), []).append((leader, blocks))
+            self._leader_chosen[leader] = chosen
+        for k, leaders in plans.items():
+            # repro: allow[REP401] loop is over distinct generation sizes (one except under faults)
+            length = k + self.block_payload_bits
+            core = (
+                GF2BasisBatch(self.n, length, span_cap=k)
+                if len(leaders) == 1
+                else GF2BasisBatch(self.n, length)
             )
-            source = (1 << i) | (payload << k)
-            self.core.insert_batch(
-                leader_array, masks_to_packed([source], self.core.words)
-            )
-        self.member[leader] = True
-        self._leader = leader
-        self._leader_chosen = chosen
+            self.groups[k] = core
+            self.group_bits[k] = k + self.block_payload_bits + genid_bits
+            for leader, blocks in leaders:
+                self.gen_of[leader] = k
+                leader_array = np.array([leader], dtype=np.int64)
+                for i, block in enumerate(blocks):
+                    # repro: allow[REP401] once-per-iteration seeding over the leader's blocks
+                    payload = encode_block(
+                        self.config,
+                        [self.tokens[j] for j in block],
+                        self.tokens_per_block,
+                    )
+                    source = (1 << i) | (payload << k)
+                    core.insert_batch(
+                        leader_array, masks_to_packed([source], core.words)
+                    )
 
     # ------------------------------------------------------------------
     def deliver_all(self, round_index, indices, indptr, active, counts):
@@ -872,80 +1004,94 @@ class GreedyForwardKernel(RoundKernel):
                     self.lead_uid[merge] = n - 1 - (merged % n)
             self._counts_cache = None
             return changed
-        if self.core is not None:
-            ranks = self.core.ranks
-            had_rank = self.member & (ranks > 0) & ~self.exhausted
-            receivers, senders = _delivery_pairs(indices, indptr, self._send_active)
-            keep = ~self.exhausted[receivers]
-            receivers, senders = receivers[keep], senders[keep]
-            if receivers.size:
-                self.member[receivers] = True
-                flags = self.core.insert_batch(receivers, self._coded_send[senders])
-                changed[receivers[flags]] = True
-        else:
-            had_rank = np.zeros(n, dtype=bool)
+        had_rank = (
+            _group_ranks(self.groups, self.gen_of, n) > 0
+        ) & ~self.exhausted
+        receivers, senders = _delivery_pairs(indices, indptr, self._send_active)
+        keep = ~self.exhausted[receivers]
+        receivers, senders = receivers[keep], senders[keep]
+        if receivers.size:
+            _deliver_grouped(
+                self.groups, self.gen_of, self._coded_send, receivers, senders, changed
+            )
         if offset == self.broadcast_rounds - 1:
             known_changed = self._finish_broadcast()
             changed = known_changed | had_rank
         self._counts_cache = None
         return changed
 
+    def _learn_decoded(self, uid: int, token) -> bool:
+        """The object ``_learn_token`` + ``delivered.add``; True iff known grew."""
+        bit = self.token_index.get(token.token_id)
+        if bit is None:
+            # Foreign id: enters known and delivered together, so it is
+            # never eligible for gather forwarding.
+            if token.token_id in self._foreign_ids[uid]:
+                return False
+            self._foreign_ids[uid].add(token.token_id)
+            self._foreign[uid].append(token)
+            self._any_foreign = True
+            return True
+        fresh = not ((self.known_int[uid] >> bit) & 1)
+        if fresh:
+            self.known_int[uid] |= 1 << bit
+            self.order[uid].append(bit)
+            if token.payload != self.tokens[bit].payload:
+                self._overrides[uid][bit] = token
+        self.delivered_int[uid] |= 1 << bit
+        return fresh
+
     def _finish_broadcast(self) -> np.ndarray:
         known_changed = np.zeros(self.n, dtype=bool)
-        if self.core is not None:
-            members = np.flatnonzero(self.member & ~self.exhausted)
-            decodable = members[self.core.ranks[members] >= self.gen_k]
-            if decodable.size:
-                ok, payloads = self.core.decode_payload_masks_batch(
-                    self.gen_k, decodable[:1]
-                )
-                if not ok[0]:
-                    raise RuntimeError(
-                        "broadcast decode failed for a member whose rank "
-                        "reached the generation size"
-                    )
-                decoded_tokens = []
-                for payload in packed_to_masks(payloads[0]):
-                    decoded_tokens.extend(
-                        decode_block(self.config, payload, self.tokens_per_block)
-                    )
-                decoded_indexes = []
-                for token in decoded_tokens:
-                    bit = self.token_index.get(token.token_id)
-                    if bit is None:
-                        raise RuntimeError(
-                            "GreedyForwardKernel: decoded a token outside the "
-                            "placement (mixed generations); rerun with "
-                            "engine='mask'"
-                        )
-                    decoded_indexes.append(bit)
-                for uid in decodable.tolist():
-                    mask = self.known_int[uid]
-                    delivered = self.delivered_int[uid]
-                    order = self.order[uid]
-                    for i in decoded_indexes:
-                        if not (mask >> i) & 1:
-                            mask |= 1 << i
-                            order.append(i)
+        for k in sorted(self.groups):
+            # repro: allow[REP401] loop is over distinct generation sizes (one except under faults)
+            core = self.groups[k]
+            members = np.flatnonzero((self.gen_of == k) & ~self.exhausted)
+            # can_decode: full coefficient-block rank (equals the plain rank
+            # for in-span traffic, so benign runs decode exactly as before).
+            decodable = members[core.coefficient_ranks(k)[members] >= k]
+            if not decodable.size:
+                continue
+            ok, payloads = core.decode_payload_masks_batch(k, decodable)
+            for pos, uid in enumerate(decodable.tolist()):
+                # repro: allow[REP401] decode loop over boundary-decodable nodes, once per window
+                if not ok[pos]:
+                    continue
+                for payload in packed_to_masks(payloads[pos]):
+                    # A garbled mixed-span payload can make decode_block
+                    # raise; the object engines fail identically, so the
+                    # parity contract is preserved either way.
+                    for token in decode_block(
+                        self.config, payload, self.tokens_per_block
+                    ):
+                        if self._learn_decoded(uid, token):
                             known_changed[uid] = True
-                        delivered |= 1 << i
-                    self.known_int[uid] = mask
-                    self.delivered_int[uid] = delivered
-        if self._leader >= 0:
-            delivered = self.delivered_int[self._leader]
-            for i in self._leader_chosen:
+        for leader, chosen in self._leader_chosen.items():
+            # repro: allow[REP401] loop over self-elected leaders (one except under faults)
+            delivered = self.delivered_int[leader]
+            for i in chosen:
                 delivered |= 1 << i
-            self.delivered_int[self._leader] = delivered
-        self.core = None
-        self.member[:] = False
-        self._leader = -1
-        self._leader_chosen = []
+            self.delivered_int[leader] = delivered
+        self._drop_groups()
         return known_changed
 
     # ------------------------------------------------------------------
     def _known_counts_now(self) -> np.ndarray:
-        return np.fromiter(
+        counts = np.fromiter(
             (len(order) for order in self.order), dtype=np.int64, count=self.n
+        )
+        if self._any_foreign:
+            counts += np.fromiter(
+                (len(ids) for ids in self._foreign_ids), dtype=np.int64, count=self.n
+            )
+        return counts
+
+    def completed_flags(self) -> np.ndarray:
+        # Placement-bit coverage: foreign tokens inflate known_counts but
+        # never complete a node.
+        full = self.full
+        return np.fromiter(
+            (mask == full for mask in self.known_int), dtype=bool, count=self.n
         )
 
     def all_complete(self) -> bool:
@@ -959,29 +1105,42 @@ class GreedyForwardKernel(RoundKernel):
 
     def _knows(self, uid: int, token_id) -> bool:
         bit = self.token_index.get(token_id)
-        return bit is not None and bool((self.known_int[uid] >> bit) & 1)
+        if bit is None:
+            return token_id in self._foreign_ids[uid]
+        return bool((self.known_int[uid] >> bit) & 1)
+
+    def _known_ids(self, uid: int) -> list:
+        ids = [self.tokens[i].token_id for i in self.order[uid]]
+        ids.extend(self._foreign_ids[uid])
+        return ids
 
     def state_view(self, uid: int) -> NodeStateView:
-        order = self.order[uid]
-        rank = int(self.core.ranks[uid]) if self.core is not None and self.member[uid] else 0
+        counts = self.known_counts()
+        k = int(self.gen_of[uid])
+        rank = int(self.groups[k].ranks[uid]) if k >= 0 else 0
         return NodeStateView(
             uid=uid,
             rank=rank,
-            known_supplier=lambda: [self.tokens[i].token_id for i in order],
-            known_count=len(order),
+            known_supplier=lambda: self._known_ids(uid),
+            known_count=int(counts[uid]),
             membership=lambda token_id: self._knows(uid, token_id),
         )
 
     def to_nodes(self, nodes):
         for uid, node in enumerate(nodes):
             node.known.clear()
+            overrides = self._overrides[uid]
             for i in self.order[uid]:
-                token = self.tokens[i]
+                token = overrides.get(i, self.tokens[i])
+                node.known[token.token_id] = token
+            for token in self._foreign[uid]:
                 node.known[token.token_id] = token
             node.delivered = {
                 self.tokens[i].token_id for i in _iter_bits(self.delivered_int[uid])
-            }
+            } | self._foreign_ids[uid]
             node._exhausted = bool(self.exhausted[uid])
             node._gather = None
             node._generation_state = None
-            node._broadcast_token_ids = []
+            node._broadcast_token_ids = [
+                self.tokens[i].token_id for i in self._leader_chosen.get(uid, [])
+            ]

@@ -328,6 +328,18 @@ class RoundKernel(abc.ABC):
             self._counts_cache = self._known_counts_now()
         return self._counts_cache
 
+    def completed_flags(self) -> np.ndarray:
+        """Per-node completion: the node knows every placement token.
+
+        The default equates ``known_counts() >= k`` with completion, which
+        is exact for kernels whose nodes can only ever learn placement
+        tokens.  Kernels that may also record *foreign* tokens (garbage
+        decodes of mixed-generation coded traffic under faults) must
+        override with a placement-bit test — a count can reach ``k``
+        without covering the placement.
+        """
+        return self.known_counts() >= self.k
+
     @abc.abstractmethod
     def all_complete(self) -> bool:
         """True iff every node knows every placement token."""
@@ -451,7 +463,6 @@ def run_kernel_rounds(
     limit = config.budget.limit_bits
     cache = TopologyValidationCache()
     topologies: list = []
-    survivor_indices = faults.survivor_indices if faults is not None else None
 
     for round_index in range(max_rounds):
         plan = faults.begin_round(round_index) if faults is not None else None
@@ -474,6 +485,13 @@ def run_kernel_rounds(
         if record_topologies:
             topologies.append(topology)
 
+        indices, indptr = topology.csr_adjacency()
+        if plan is not None:
+            # The adaptive strategy is consulted in here and may crash
+            # nodes mid-round: ``plan.down`` is final only afterwards, so
+            # the sending mask must be computed below, not before.
+            indices, indptr = plan.bind_edges(indices, indptr)
+
         sending = active if plan is None else active & ~plan.down
         broadcasts = int(sending.sum())
         metrics.silent_rounds += n - broadcasts
@@ -491,10 +509,8 @@ def run_kernel_rounds(
             if max_bits > metrics.max_message_bits:
                 metrics.max_message_bits = max_bits
 
-        indices, indptr = topology.csr_adjacency()
         discarded = 0
         if plan is not None:
-            indices, indptr = plan.bind_edges(indices, indptr)
             stats = plan.account(sending)
             metrics.dropped_deliveries += stats.dropped
             metrics.duplicated_deliveries += stats.duplicated
@@ -534,8 +550,9 @@ def run_kernel_rounds(
             done = metrics.completion_round is not None
         else:
             if metrics.survivor_completion_round is None:
-                known = kernel.known_counts()
-                if bool((known[survivor_indices] >= kernel.k).all()):
+                complete = kernel.completed_flags()
+                # Queried per round: adaptive strategies shrink the set.
+                if bool(complete[faults.survivor_indices].all()):
                     metrics.survivor_completion_round = round_index + 1
             done = metrics.survivor_completion_round is not None
 

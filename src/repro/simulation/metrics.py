@@ -50,6 +50,14 @@ class RunMetrics:
         First round after which every survivor knew every token (the
         faulted twin of ``completion_round``, which still demands the whole
         population — crashed nodes included — and so may never trigger).
+    recoveries:
+        Number of crash–recovery intervals whose node actually rejoined
+        within the executed window; ``None`` on benign runs.
+    reconvergence_rounds:
+        Rounds between the last observed rejoin and the survivor
+        completion round — how long the population needed to re-absorb the
+        stale-state node; ``None`` when nothing recovered or the survivors
+        never completed.
     progress:
         Optional per-round record of the minimum / mean number of known
         tokens across nodes (populated when progress tracking is enabled).
@@ -69,6 +77,8 @@ class RunMetrics:
     survivors: int | None = None
     completed_survivors: int | None = None
     survivor_completion_round: int | None = None
+    recoveries: int | None = None
+    reconvergence_rounds: int | None = None
     progress: list[tuple[int, int, float]] = field(default_factory=list)
 
     @property
@@ -136,6 +146,8 @@ class RunMetrics:
                     "dropped": self.dropped_deliveries,
                     "duplicated": self.duplicated_deliveries,
                     "corrupted": self.corrupted_deliveries,
+                    "recoveries": self.recoveries,
+                    "reconvergence_rounds": self.reconvergence_rounds,
                 }
             )
         return summary

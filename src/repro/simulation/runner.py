@@ -242,12 +242,15 @@ def run_dissemination(
     faults:
         Optional :class:`~repro.network.faults.FaultModel` — the hostile
         axis orthogonal to ``adversary``: per-edge loss/duplication,
-        permanent node crashes, Byzantine coded senders.  Fault randomness
-        comes from one ``rng.spawn``-ed stream drawn after node
-        construction, so a benign model leaves the run bit-identical to
-        ``faults=None``.  Under faults the stop rule, the reported
-        correctness and the new survivor metrics are computed over the
-        never-crashed population.
+        crash–recovery intervals and permanent crashes, scheduled
+        partitions, adaptive :class:`~repro.network.faults.FaultStrategy`
+        adversaries, Byzantine coded senders.  Fault randomness comes from
+        one ``rng.spawn``-ed stream drawn after node construction, so a
+        benign model leaves the run bit-identical to ``faults=None``.
+        Under faults the stop rule, the reported correctness and the
+        survivor metrics are computed over the never-permanently-crashed
+        population (recovering nodes included), queried per round because
+        adaptive strategies may claim victims mid-run.
     """
     if engine not in ("auto", "mask", "legacy", "kernel"):
         raise ValueError(
@@ -334,10 +337,15 @@ def run_dissemination(
             faults=bound,
         )
         if bound is not None:
-            known = kernel.known_counts()
+            complete = kernel.completed_flags()
             metrics.survivors = int(bound.survivor_indices.size)
             metrics.completed_survivors = int(
-                (known[bound.survivor_indices] >= kernel.k).sum()
+                complete[bound.survivor_indices].sum()
+            )
+            metrics.recoveries, metrics.reconvergence_rounds = (
+                bound.recovery_metrics(
+                    metrics.rounds_executed, metrics.survivor_completion_round
+                )
             )
         kernel.to_nodes(nodes)
         if bound is None:
@@ -391,8 +399,6 @@ def run_dissemination(
     # graph, the same object ``after_round`` sees).
     coordinator = getattr(nodes[0], "shared_coordinator", None) if nodes else None
 
-    survivor_uids = bound.survivor_indices.tolist() if bound is not None else []
-
     for round_index in range(max_rounds):
         plan = bound.begin_round(round_index) if bound is not None else None
         states = [node.state_view() for node in nodes]
@@ -426,6 +432,19 @@ def run_dissemination(
         if record_topologies:
             topologies.append(topology if use_mask else nx_view)
 
+        eff_indices: np.ndarray | None = None
+        eff_indptr: np.ndarray | None = None
+        if plan is not None:
+            if use_mask:
+                base_indices, base_indptr = topology.csr_adjacency()
+            else:
+                base_indices, base_indptr = _nx_csr(nx_view, config.n)
+            # The adaptive strategy is consulted in here and may crash
+            # nodes mid-round: ``plan.down`` is final only afterwards, so
+            # the accounting below must wait for this call — the same
+            # ordering the kernel engine uses.
+            eff_indices, eff_indptr = plan.bind_edges(base_indices, base_indptr)
+
         # Budget enforcement and broadcast accounting.  A crashed node's
         # radio is off: it still composes (identical rng consumption keeps
         # engine parity) but transmits nothing and counts as silent.
@@ -446,11 +465,6 @@ def run_dissemination(
             # Faulted delivery runs over the plan's effective CSR — shared
             # verbatim with the kernel engine, which is what keeps faulted
             # metrics byte-identical across all three engines.
-            if use_mask:
-                base_indices, base_indptr = topology.csr_adjacency()
-            else:
-                base_indices, base_indptr = _nx_csr(nx_view, config.n)
-            eff_indices, eff_indptr = plan.bind_edges(base_indices, base_indptr)
             sending = np.fromiter(
                 (message is not None for message in outgoing),
                 dtype=bool,
@@ -560,8 +574,10 @@ def run_dissemination(
         else:
             # Under crash faults the whole population may never complete;
             # the faulted stop rule is survivor completion (identical to
-            # population completion when nothing crashes).
+            # population completion when nothing crashes).  The survivor
+            # set is queried per round: adaptive strategies shrink it.
             if metrics.survivor_completion_round is None:
+                survivor_uids = bound.survivor_indices.tolist()
                 if use_mask:
                     survivors_done = all(
                         nodes[u].knowledge_mask() == full_mask for u in survivor_uids
@@ -584,6 +600,7 @@ def run_dissemination(
         if metrics.completion_round is not None:
             correct = _check_correctness(nodes, placement)
     else:
+        survivor_uids = bound.survivor_indices.tolist()
         metrics.survivors = len(survivor_uids)
         if use_mask:
             metrics.completed_survivors = sum(
@@ -593,6 +610,9 @@ def run_dissemination(
             metrics.completed_survivors = sum(
                 1 for u in survivor_uids if all_token_ids <= nodes[u].known_token_ids()
             )
+        metrics.recoveries, metrics.reconvergence_rounds = bound.recovery_metrics(
+            metrics.rounds_executed, metrics.survivor_completion_round
+        )
         if metrics.survivor_completion_round is not None:
             correct = _check_correctness(
                 [nodes[u] for u in survivor_uids], placement

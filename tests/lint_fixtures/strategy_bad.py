@@ -1,0 +1,41 @@
+"""Fixture: seedless randomness inside an adaptive FaultStrategy (REP102).
+
+``plan_round`` receives the bound model's seeded generator every round;
+a strategy that conjures its own unseeded stream breaks the byte-identical
+replay contract the three engines are checked against.
+"""
+
+import numpy as np
+
+
+class FaultStrategy:
+    def bind(self, n, rng):
+        return self
+
+
+class SneakyLossStrategy(FaultStrategy):
+    """Draws from a private, unseeded stream instead of the bound rng."""
+
+    def plan_round(self, round_index, csr, down, rng):
+        hidden = np.random.default_rng()
+        if np.random.random() < 0.5:
+            return None, hidden.integers(0, 4, size=1)
+        return None, ()
+
+
+class HonestLossStrategy(FaultStrategy):
+    """Uses only the generator the fault layer passes in."""
+
+    def plan_round(self, round_index, csr, down, rng):
+        if rng.random() < 0.5:
+            return None, rng.integers(0, 4, size=1)
+        return None, ()
+
+
+class WaivedReplayStrategy(FaultStrategy):
+    """A deliberate waiver still needs the inline allow directive."""
+
+    def plan_round(self, round_index, csr, down, rng):
+        # repro: allow[REP102] fixture exercising the suppression path
+        extra = np.random.default_rng()
+        return None, extra.integers(0, 4, size=1)

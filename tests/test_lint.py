@@ -100,6 +100,20 @@ def test_rep102_fires_on_seedless_and_global_state_only():
     assert line_of("determinism_bad.py", "allow[REP102]") in rule_lines(suppressed, "REP102")
 
 
+def test_rep102_fires_inside_adaptive_fault_strategies():
+    """A FaultStrategy.plan_round drawing outside the bound rng trips CI."""
+    active, suppressed = lint_fixture("strategy_bad.py")
+    lines = rule_lines(active, "REP102")
+    assert line_of("strategy_bad.py", "np.random.default_rng()") in lines
+    assert line_of("strategy_bad.py", "np.random.random()") in lines
+    # the honest strategy draws only from the generator the layer passes in
+    assert line_of("strategy_bad.py", "if rng.random() < 0.5:") not in lines
+    assert line_of("strategy_bad.py", "rng.integers(0, 4, size=1)") not in lines
+    waived = line_of("strategy_bad.py", "np.random.default_rng()", occurrence=1)
+    assert waived not in lines
+    assert waived in rule_lines(suppressed, "REP102")
+
+
 def test_rep103_fires_in_src_not_bench():
     active, _ = lint_fixture("determinism_bad.py")
     lines = rule_lines(active, "REP103")
