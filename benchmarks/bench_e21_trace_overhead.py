@@ -1,0 +1,167 @@
+"""E21: round-trace telemetry overhead on the kernel engine.
+
+The observability layer (``repro/obs``) promises that tracing is cheap and
+inert: a :class:`~repro.obs.trace.TraceRecorder` attached to
+``run_dissemination`` collects one columnar record per round with no
+per-node Python on the kernel hot path, and never changes the execution.
+Three measurements:
+
+1. **Traced-vs-untraced headline** — per-round kernel wall time with a
+   clock-free recorder attached versus the identical bare run.  The
+   recorded ratio is sticky in ``BENCH_TRACE_OVERHEAD.json``;
+   ``benchmarks/check_regression.py`` fails a run that regresses it by
+   more than 25 %.
+2. **Clocked tracing row** — the same comparison with a
+   :class:`~repro.obs.clock.SystemClock` attached (phase timers live),
+   recorded as data: the phase-profiler spans are the only addition.
+3. **Inertness guard** — the traced run's ``RunMetrics`` must equal the
+   untraced run's bit for bit, and the recorded per-round counter columns
+   must sum to the final counters.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.algorithms import TokenForwardingNode
+from repro.obs import SystemClock, TraceRecorder
+from repro.scenarios import make_scenario
+from repro.simulation import run_dissemination, standard_instance
+
+from common import make_config, print_rows, record_headline
+
+BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_TRACE_OVERHEAD.json"
+
+#: Same scale as the e20 fault-overhead headline: large enough that the
+#: kernel engine's vectorised round cost dominates the python loop shell.
+N = 128
+
+
+def _run(trace: TraceRecorder | None, seed: int = 0):
+    config = make_config(N, k=N, d=8, b=max(64, N + 16))
+    placement = standard_instance(N, N, 8, seed=seed)
+    adversary = make_scenario("edge_markov", N, seed=seed)
+    start = time.perf_counter()
+    result = run_dissemination(
+        TokenForwardingNode, config, placement, adversary, seed=seed,
+        engine="kernel", trace=trace,
+    )
+    return result, time.perf_counter() - start
+
+
+def _overhead_rows() -> tuple[list[dict], dict]:
+    bare, bare_s = _run(None)
+    recorder = TraceRecorder()
+    traced, traced_s = _run(recorder)
+    clocked_recorder = TraceRecorder(clock=SystemClock())
+    clocked, clocked_s = _run(clocked_recorder)
+
+    assert traced.metrics == bare.metrics, "tracing changed the execution"
+    assert clocked.metrics == bare.metrics, "clocked tracing changed the execution"
+    trace = recorder.to_trace()
+    assert trace.rounds == bare.metrics.rounds_executed
+    assert int(trace.arrays["broadcasts"].sum()) == bare.metrics.broadcasts
+    assert int(trace.arrays["deliveries"].sum()) == bare.metrics.deliveries
+
+    per_round = lambda seconds, result: seconds / max(1, result.metrics.rounds_executed)  # noqa: E731
+    bare_pr = per_round(bare_s, bare)
+    traced_pr = per_round(traced_s, traced)
+    clocked_pr = per_round(clocked_s, clocked)
+    rows = [
+        {
+            "mode": "untraced",
+            "n": N,
+            "ms_per_round": round(bare_pr * 1e3, 3),
+            "overhead_ratio": 1.0,
+        },
+        {
+            "mode": "traced",
+            "n": N,
+            "ms_per_round": round(traced_pr * 1e3, 3),
+            "overhead_ratio": round(traced_pr / bare_pr, 2),
+        },
+        {
+            "mode": "traced+clock",
+            "n": N,
+            "ms_per_round": round(clocked_pr * 1e3, 3),
+            "overhead_ratio": round(clocked_pr / bare_pr, 2),
+        },
+    ]
+    overhead = {
+        "scenario": "edge_markov",
+        "n": N,
+        "rounds": bare.metrics.rounds_executed,
+        "untraced_ms_per_round": rows[0]["ms_per_round"],
+        "traced_ms_per_round": rows[1]["ms_per_round"],
+        "clocked_ms_per_round": rows[2]["ms_per_round"],
+        "overhead_ratio": rows[1]["overhead_ratio"],
+        "clocked_overhead_ratio": rows[2]["overhead_ratio"],
+    }
+    return rows, overhead
+
+
+def _recorded_headline_value(fallback: float) -> float:
+    """The previously recorded headline reference, or ``fallback`` if none."""
+    try:
+        recorded = json.loads(BASELINE_FILE.read_text())["headline"]["value"]
+        return float(recorded)
+    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return fallback
+
+
+def _write_baseline(rows: list[dict], overhead: dict) -> None:
+    BASELINE_FILE.write_text(
+        json.dumps(
+            {
+                "description": (
+                    "E21 round-trace telemetry overhead: per-round kernel wall "
+                    "time with a TraceRecorder attached (columnar per-round "
+                    "records; clock-free and clocked variants) versus the "
+                    "identical untraced run at n=128."
+                ),
+                "rows": rows,
+                "overhead": overhead,
+                "headline": {
+                    "name": "e21_trace_overhead_ratio",
+                    # Sticky reference: keep the previously recorded value so
+                    # check_regression.py compares the live figure against a
+                    # real baseline instead of the number this very run just
+                    # measured.
+                    "value": _recorded_headline_value(overhead["overhead_ratio"]),
+                    "larger_is_better": False,
+                    "note": (
+                        "recorded traced-vs-untraced per-round slowdown (sticky "
+                        "across bench reruns); benchmarks/check_regression.py "
+                        "fails a run more than 25% above this"
+                    ),
+                },
+            },
+            indent=1,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def test_e21_trace_overhead_headline(benchmark):
+    rows, overhead = _overhead_rows()
+    _write_baseline(rows, overhead)
+    print_rows("E21 — traced vs untraced kernel rounds", rows)
+    print(
+        f"\nE21 — trace overhead at n={N}: "
+        f"{overhead['traced_ms_per_round']:.2f} ms/round traced vs "
+        f"{overhead['untraced_ms_per_round']:.2f} ms/round untraced: "
+        f"{overhead['overhead_ratio']:.2f}x"
+    )
+    record_headline(
+        "e21_trace_overhead_ratio",
+        overhead["overhead_ratio"],
+        larger_is_better=False,
+    )
+    benchmark.pedantic(
+        lambda: _run(TraceRecorder(), seed=1),
+        rounds=1,
+        iterations=1,
+    )

@@ -29,6 +29,7 @@ import numpy as np
 from repro import __version__
 from repro.algorithms.base import ProtocolConfig, ProtocolFactory
 from repro.network import Adversary
+from repro.obs.provenance import tree_digest
 from repro.simulation import (
     SweepCache,
     SweepPoint,
@@ -84,17 +85,14 @@ def _source_digest() -> str:
     (module + qualname), which does not change when a function body changes —
     so the memo files themselves are salted with the source tree content and
     any code edit starts a fresh memo.  This is the local twin of the CI
-    ``actions/cache`` key's ``hashFiles('src/**', 'benchmarks/**')``.
+    ``actions/cache`` key's ``hashFiles('src/**', 'benchmarks/**')``, built
+    on the same :func:`repro.obs.provenance.tree_digest` primitive that
+    stamps trace manifests.
     """
     global _SOURCE_DIGEST
     if _SOURCE_DIGEST is None:
-        digest = hashlib.sha256()
         root = Path(__file__).resolve().parent.parent
-        for base in (root / "src", root / "benchmarks"):
-            for path in sorted(base.rglob("*.py")):
-                digest.update(str(path.relative_to(root)).encode())
-                digest.update(path.read_bytes())
-        _SOURCE_DIGEST = digest.hexdigest()[:12]
+        _SOURCE_DIGEST = tree_digest((root / "src", root / "benchmarks"), root)
     return _SOURCE_DIGEST
 
 

@@ -20,12 +20,21 @@ under the standard placement, so the honest population still owns every
 token and completion stays reachable.
 
 Run with:  python examples/hostile_gossip.py
+
+Pass ``--trace PATH`` to also record a per-round trace of the full hostile
+mix (loss + malformed Byzantine senders) and print its round-by-round
+summary table; inspect the saved artifact later with
+``python -m repro.obs summarize PATH`` or diff it against another engine's
+run with ``python -m repro.obs diff``.
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro import IndexedBroadcastNode, MessageBudget, ProtocolConfig, run_dissemination
 from repro.network import BridgeLossStrategy, FaultModel
+from repro.obs import SystemClock, TraceRecorder, summary_rows
 from repro.scenarios import SCENARIOS, fault_model_for, make_scenario
 from repro.simulation import format_table, standard_instance
 
@@ -50,7 +59,7 @@ def _describe(model: FaultModel | None) -> str:
     return " + ".join(axes)
 
 
-def main() -> None:
+def main(trace_path: str | None = None) -> None:
     scenario = SCENARIOS["edge_markov"]
     print(f"scenario {scenario.name!r}: {scenario.description}")
     print(f"{N} nodes, {K} tokens of {TOKEN_BITS} bits, indexed broadcast\n")
@@ -73,9 +82,19 @@ def main() -> None:
         fault_model_for("crash_recover_churn", N, seed=0),
     ]
 
+    # The entry the optional trace records: the full hostile mix of loss
+    # plus malformed Byzantine senders.
+    traced_model = setups[3]
+    recorder = None
+
     rows = []
     benign_rounds = None
     for model in setups:
+        trace = None
+        if trace_path is not None and model is traced_model:
+            trace = recorder = TraceRecorder(
+                clock=SystemClock(), label="hostile_gossip"
+            )
         result = run_dissemination(
             IndexedBroadcastNode,
             config,
@@ -85,6 +104,7 @@ def main() -> None:
             faults=model,
             max_rounds=40 * N,
             track_progress=True,
+            trace=trace,
         )
         metrics = result.metrics
         if model is None:
@@ -116,6 +136,26 @@ def main() -> None:
     print("recovering crash victims rejoin with stale state — coded gossip degrades")
     print("gracefully, and completion survives every fault mix above.")
 
+    if recorder is not None:
+        saved = recorder.save(trace_path)
+        trace = recorder.to_trace()
+        print()
+        print(
+            format_table(
+                summary_rows(trace),
+                title=f"per-round trace of the {_describe(traced_model)} run",
+            )
+        )
+        print(f"\ntrace saved to {saved}")
+        print(f"inspect with: python -m repro.obs summarize {saved}")
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the hostile-mix run's per-round trace to PATH (.npz)",
+    )
+    main(trace_path=parser.parse_args().trace)

@@ -800,6 +800,12 @@ class RoundFaultPlan:
         self._byz_edge = byz_edge
         return eff_indices, eff_indptr
 
+    @property
+    def partition_active(self) -> bool:
+        """Whether a scheduled partition window is open this round."""
+        partitions = self.bound.model.partitions
+        return partitions is not None and partitions.active_at(self.round_index)
+
     def account(self, sending: np.ndarray) -> RoundFaultStats:
         """Per-round fault counters, given which nodes actually broadcast.
 

@@ -1,0 +1,114 @@
+"""The trace CLI: ``python -m repro.obs {summarize,diff,profile} ...``.
+
+* ``summarize TRACE`` — provenance header, sampled per-round table, totals;
+* ``diff A B`` — content comparison: prints ``identical`` (exit 0) or the
+  first divergent round/node (exit 1) — cross-engine parity debugging as
+  one command instead of a bisection;
+* ``profile TRACE`` — the phase-timer report recorded when the trace was
+  collected with a clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .diff import diff_traces
+from .report import describe_trace, profile_rows, summary_rows, totals_row
+from .trace import load_trace
+
+
+def _format_table(rows: list[dict], title: str = "") -> str:
+    # Deferred import: the simulation package imports repro.obs, so the
+    # table helper is only pulled in when the CLI actually runs.
+    from ..simulation import format_table
+
+    return format_table(rows, title=title)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    print(describe_trace(trace))
+    rows = summary_rows(trace, every=args.every)
+    if not rows:
+        print("(empty trace: no rounds recorded)")
+        return 0
+    print()
+    print(_format_table(rows, title=f"per-round trace of {args.trace}"))
+    totals = totals_row(trace)
+    print()
+    print(
+        "totals: "
+        + "  ".join(f"{name}={value}" for name, value in totals.items())
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    diff = diff_traces(load_trace(args.a), load_trace(args.b))
+    print(diff.describe())
+    if diff.identical:
+        return 0
+    for divergence in diff.divergences[1 : 1 + max(0, args.limit - 1)]:
+        print(divergence.describe().replace("first divergence", "also"))
+    return 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    print(describe_trace(trace))
+    rows = profile_rows(trace)
+    if not rows:
+        print(
+            "(no phase timings: collect with TraceRecorder(clock=SystemClock()))"
+        )
+        return 0
+    print()
+    print(_format_table(rows, title="phase profile"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect round-trace .npz artifacts.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize", help="per-round summary table of one trace"
+    )
+    summarize.add_argument("trace", help="trace .npz path")
+    summarize.add_argument(
+        "--every",
+        type=int,
+        default=None,
+        help="row sampling stride (default: ~20 rows; 1 = every round)",
+    )
+    summarize.set_defaults(handler=_cmd_summarize)
+
+    diff = commands.add_parser(
+        "diff", help="first divergent round/node between two traces"
+    )
+    diff.add_argument("a", help="first trace .npz")
+    diff.add_argument("b", help="second trace .npz")
+    diff.add_argument(
+        "--limit",
+        type=int,
+        default=3,
+        help="max divergent fields to print (default 3)",
+    )
+    diff.set_defaults(handler=_cmd_diff)
+
+    profile = commands.add_parser(
+        "profile", help="phase-timer report of one clocked trace"
+    )
+    profile.add_argument("trace", help="trace .npz path")
+    profile.set_defaults(handler=_cmd_profile)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -314,7 +314,8 @@ class IndexedBroadcastKernel(RoundKernel):
                 combined = self.core.combine_sorted(self._picks, subset)
                 for uid, mask in self._overrides.items():
                     combined[uid] = masks_to_packed([mask], self.core.words)[0]
-            flags = self.core.insert_batch(receivers, combined[senders])
+            with self.profiler.span("insert"):
+                flags = self.core.insert_batch(receivers, combined[senders])
             innovative[receivers[flags]] = True
         # In-span traffic: the coefficient block's rank equals the full rank,
         # so decode readiness is saturation of the span cap.
@@ -326,6 +327,9 @@ class IndexedBroadcastKernel(RoundKernel):
     # ------------------------------------------------------------------
     def _known_counts_now(self) -> np.ndarray:
         return np.where(self.decoded, self.k, self.initial_counts)
+
+    def coded_ranks(self) -> np.ndarray:
+        return np.asarray(self.core.ranks, dtype=np.int64)
 
     def all_complete(self) -> bool:
         return bool((self.decoded | self.initially_full).all())
@@ -359,9 +363,10 @@ class IndexedBroadcastKernel(RoundKernel):
         if decoded_uids.size:
             # Canonical instance: every decoded span is the same k-dimensional
             # source span, so one vectorised Gauss-Jordan serves all nodes.
-            ok, payloads = self.core.decode_payload_masks_batch(
-                self.gen_k, decoded_uids[:1]
-            )
+            with self.profiler.span("decode"):
+                ok, payloads = self.core.decode_payload_masks_batch(
+                    self.gen_k, decoded_uids[:1]
+                )
             if not ok[0]:
                 raise RuntimeError(
                     "canonical decode failed for a node whose span reached "
@@ -578,9 +583,15 @@ class NaiveCodedKernel(RoundKernel):
         had_rank = _group_ranks(self.groups, self.gen_of, self.n) > 0
         receivers, senders = _delivery_pairs(indices, indptr, self._send_active)
         if receivers.size:
-            _deliver_grouped(
-                self.groups, self.gen_of, self._coded_send, receivers, senders, changed
-            )
+            with self.profiler.span("insert"):
+                _deliver_grouped(
+                    self.groups,
+                    self.gen_of,
+                    self._coded_send,
+                    receivers,
+                    senders,
+                    changed,
+                )
         if offset == self.broadcast_rounds - 1:
             known_changed = self._finish_broadcast()
             # The window boundary clears every node's coding state, so the
@@ -621,7 +632,8 @@ class NaiveCodedKernel(RoundKernel):
             decodable = members[core.coefficient_ranks(k)[members] >= k]
             if not decodable.size:
                 continue
-            ok, payloads = core.decode_payload_masks_batch(k, decodable)
+            with self.profiler.span("decode"):
+                ok, payloads = core.decode_payload_masks_batch(k, decodable)
             for pos, uid in enumerate(decodable.tolist()):
                 # repro: allow[REP401] decode loop over boundary-decodable nodes, once per window
                 if not ok[pos]:
@@ -645,6 +657,9 @@ class NaiveCodedKernel(RoundKernel):
                 (len(ids) for ids in self._foreign_ids), dtype=np.int64, count=self.n
             )
         return counts
+
+    def coded_ranks(self) -> np.ndarray:
+        return _group_ranks(self.groups, self.gen_of, self.n)
 
     def completed_flags(self) -> np.ndarray:
         # Placement-bit coverage: foreign tokens inflate known_counts but
@@ -1011,9 +1026,15 @@ class GreedyForwardKernel(RoundKernel):
         keep = ~self.exhausted[receivers]
         receivers, senders = receivers[keep], senders[keep]
         if receivers.size:
-            _deliver_grouped(
-                self.groups, self.gen_of, self._coded_send, receivers, senders, changed
-            )
+            with self.profiler.span("insert"):
+                _deliver_grouped(
+                    self.groups,
+                    self.gen_of,
+                    self._coded_send,
+                    receivers,
+                    senders,
+                    changed,
+                )
         if offset == self.broadcast_rounds - 1:
             known_changed = self._finish_broadcast()
             changed = known_changed | had_rank
@@ -1052,7 +1073,8 @@ class GreedyForwardKernel(RoundKernel):
             decodable = members[core.coefficient_ranks(k)[members] >= k]
             if not decodable.size:
                 continue
-            ok, payloads = core.decode_payload_masks_batch(k, decodable)
+            with self.profiler.span("decode"):
+                ok, payloads = core.decode_payload_masks_batch(k, decodable)
             for pos, uid in enumerate(decodable.tolist()):
                 # repro: allow[REP401] decode loop over boundary-decodable nodes, once per window
                 if not ok[pos]:
@@ -1085,6 +1107,13 @@ class GreedyForwardKernel(RoundKernel):
                 (len(ids) for ids in self._foreign_ids), dtype=np.int64, count=self.n
             )
         return counts
+
+    def coded_ranks(self) -> np.ndarray:
+        # Exhausted nodes carry no coding state on the object engines (the
+        # same masking ``had_rank`` applies in deliver_all).
+        ranks = _group_ranks(self.groups, self.gen_of, self.n)
+        ranks[self.exhausted] = 0
+        return ranks
 
     def completed_flags(self) -> np.ndarray:
         # Placement-bit coverage: foreign tokens inflate known_counts but

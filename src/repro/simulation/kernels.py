@@ -69,6 +69,7 @@ from ..algorithms.token_forwarding import (
 )
 from ..network.adversary import Adversary, NodeStateView
 from ..network.topology import TopologyValidationCache, _iter_bits
+from ..obs.profiler import NULL_PROFILER
 from ..tokens.message import MessageSizeExceeded, TokenForwardMessage
 from ..tokens.token import TokenId, TokenPlacement
 from .metrics import RunMetrics
@@ -282,6 +283,10 @@ class RoundKernel(abc.ABC):
         self.tokens = [by_id[tid] for tid in sorted(token_index)]
         self.k = len(self.tokens)
         self._counts_cache: np.ndarray | None = None
+        #: Phase profiler; the engine loop swaps in the trace recorder's
+        #: profiler when tracing with a clock (inert by default, so spans
+        #: on kernel hot paths cost one no-op context enter).
+        self.profiler = NULL_PROFILER
 
     # ------------------------------------------------------------------
     @classmethod
@@ -327,6 +332,16 @@ class RoundKernel(abc.ABC):
         if self._counts_cache is None:
             self._counts_cache = self._known_counts_now()
         return self._counts_cache
+
+    def coded_ranks(self) -> np.ndarray:
+        """Per-node ``coded_rank()``, whole-network (zeros for uncoded).
+
+        The trace recorder's rank column.  Forwarding kernels have no
+        coded state — their nodes' ``coded_rank()`` is 0 — so the default
+        is the zero vector; coded kernels override with their batched
+        GF(2) ranks.
+        """
+        return np.zeros(self.n, dtype=np.int64)
 
     def completed_flags(self) -> np.ndarray:
         """Per-node completion: the node knows every placement token.
@@ -442,6 +457,7 @@ def run_kernel_rounds(
     record_topologies: bool,
     track_progress: bool,
     faults=None,
+    trace=None,
 ) -> list:
     """Execute rounds on a kernel; mirrors the mask engine's round semantics.
 
@@ -458,11 +474,19 @@ def run_kernel_rounds(
     supported when the kernel opts in via ``supports_message_views``: the
     round then composes first and hands the adversary a lazy message-view
     sequence, exactly like the object engines.
+
+    ``trace`` (a :class:`~repro.obs.trace.TraceRecorder`, already bound via
+    ``begin_run``) receives one vectorised ``observe_round`` per executed
+    round — whole-network count/rank arrays straight from the kernel, no
+    per-node Python — and its phase profiler is installed on the kernel so
+    coded internals (insert/decode) report into the same report.
     """
     n = config.n
     limit = config.budget.limit_bits
     cache = TopologyValidationCache()
     topologies: list = []
+    profiler = NULL_PROFILER if trace is None else trace.profiler
+    kernel.profiler = profiler
 
     for round_index in range(max_rounds):
         plan = faults.begin_round(round_index) if faults is not None else None
@@ -470,7 +494,8 @@ def run_kernel_rounds(
         if adversary.sees_messages:
             # Omniscient order, as the object engines run it: compose first,
             # then show the adversary the (lazily materialised) messages.
-            active, sizes = kernel.compose_all(round_index)
+            with profiler.span("compose"):
+                active, sizes = kernel.compose_all(round_index)
             if plan is not None and plan.substitute:
                 kernel.set_wire_overrides(plan.substitute)
             messages = kernel.message_views(round_index, active)
@@ -479,7 +504,8 @@ def run_kernel_rounds(
         else:
             graph = adversary.choose_topology(round_index, n, states)
             topology = cache.validated(graph, n)
-            active, sizes = kernel.compose_all(round_index)
+            with profiler.span("compose"):
+                active, sizes = kernel.compose_all(round_index)
             if plan is not None and plan.substitute:
                 kernel.set_wire_overrides(plan.substitute)
         if record_topologies:
@@ -490,7 +516,8 @@ def run_kernel_rounds(
             # The adaptive strategy is consulted in here and may crash
             # nodes mid-round: ``plan.down`` is final only afterwards, so
             # the sending mask must be computed below, not before.
-            indices, indptr = plan.bind_edges(indices, indptr)
+            with profiler.span("faults"):
+                indices, indptr = plan.bind_edges(indices, indptr)
 
         sending = active if plan is None else active & ~plan.down
         broadcasts = int(sending.sum())
@@ -529,7 +556,10 @@ def run_kernel_rounds(
         else:
             counts = np.zeros(n, dtype=np.int64)
 
-        changed = kernel.deliver_all(round_index, indices, indptr, sending, counts)
+        with profiler.span("deliver"):
+            changed = kernel.deliver_all(
+                round_index, indices, indptr, sending, counts
+            )
 
         metrics.deliveries += int(counts.sum()) + discarded
         useless = (counts > 0) & ~changed
@@ -542,6 +572,15 @@ def run_kernel_rounds(
             known = kernel.known_counts()
             metrics.progress.append(
                 (round_index + 1, int(known.min()), float(np.mean(known)))
+            )
+
+        if trace is not None:
+            trace.observe_round(
+                round_index,
+                metrics,
+                kernel.known_counts(),
+                kernel.coded_ranks(),
+                plan,
             )
 
         if metrics.completion_round is None and kernel.all_complete():

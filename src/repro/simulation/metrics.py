@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = ["RunMetrics"]
 
@@ -125,29 +125,46 @@ class RunMetrics:
         """Account one node staying silent for one round."""
         self.silent_rounds += 1
 
+    def to_dict(self) -> dict:
+        """Every field plus the derived properties, as JSON-safe values.
+
+        Field coverage is by introspection, so a counter added to the
+        dataclass lands here automatically; the derived read-only
+        properties ride along under their property names.  ``progress``
+        tuples become lists (JSON round-trips them as lists anyway).
+        """
+        data = {name.name: getattr(self, name.name) for name in fields(self)}
+        data["progress"] = [list(entry) for entry in self.progress]
+        data["completed"] = self.completed
+        data["average_message_bits"] = self.average_message_bits
+        data["waste_fraction"] = self.waste_fraction
+        data["surviving_completion_rate"] = self.surviving_completion_rate
+        return data
+
     def summary(self) -> dict:
         """A plain-dict summary convenient for printing in benchmarks."""
+        data = self.to_dict()
         summary = {
-            "rounds": self.rounds_executed,
-            "completion_round": self.completion_round,
-            "completed": self.completed,
-            "broadcasts": self.broadcasts,
-            "avg_message_bits": round(self.average_message_bits, 1),
-            "max_message_bits": self.max_message_bits,
-            "waste_fraction": round(self.waste_fraction, 3),
+            "rounds": data["rounds_executed"],
+            "completion_round": data["completion_round"],
+            "completed": data["completed"],
+            "broadcasts": data["broadcasts"],
+            "avg_message_bits": round(data["average_message_bits"], 1),
+            "max_message_bits": data["max_message_bits"],
+            "waste_fraction": round(data["waste_fraction"], 3),
         }
-        if self.survivors is not None:
-            rate = self.surviving_completion_rate
+        if data["survivors"] is not None:
+            rate = data["surviving_completion_rate"]
             summary.update(
                 {
-                    "survivors": self.survivors,
-                    "survivor_completion_round": self.survivor_completion_round,
+                    "survivors": data["survivors"],
+                    "survivor_completion_round": data["survivor_completion_round"],
                     "surviving_completion_rate": round(rate, 3) if rate is not None else None,
-                    "dropped": self.dropped_deliveries,
-                    "duplicated": self.duplicated_deliveries,
-                    "corrupted": self.corrupted_deliveries,
-                    "recoveries": self.recoveries,
-                    "reconvergence_rounds": self.reconvergence_rounds,
+                    "dropped": data["dropped_deliveries"],
+                    "duplicated": data["duplicated_deliveries"],
+                    "corrupted": data["corrupted_deliveries"],
+                    "recoveries": data["recoveries"],
+                    "reconvergence_rounds": data["reconvergence_rounds"],
                 }
             )
         return summary

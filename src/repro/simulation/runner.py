@@ -60,6 +60,8 @@ from ..network.adversary import Adversary
 from ..network.faults import BoundFaults, FaultModel, SpanGuard
 from ..network.graphs import validate_topology
 from ..network.topology import Topology, TopologyValidationCache
+from ..obs.profiler import NULL_PROFILER
+from ..obs.trace import TraceRecorder
 from ..tokens.message import Message
 from ..tokens.token import TokenPlacement
 from . import kernels
@@ -205,6 +207,7 @@ def run_dissemination(
     track_progress: bool = False,
     engine: str = "auto",
     faults: FaultModel | None = None,
+    trace: TraceRecorder | None = None,
 ) -> RunResult:
     """Run one complete dissemination execution and return its result.
 
@@ -251,6 +254,14 @@ def run_dissemination(
         survivor metrics are computed over the never-permanently-crashed
         population (recovering nodes included), queried per round because
         adaptive strategies may claim victims mid-run.
+    trace:
+        Optional :class:`~repro.obs.trace.TraceRecorder` collecting one
+        columnar record per executed round (per-node knowledge counts and
+        coded ranks, fault events, per-round counter deltas) plus — when
+        the recorder carries a clock — wall-clock phase timings.  Tracing
+        never changes the execution: every engine produces bit-identical
+        ``RunMetrics`` with and without a recorder attached, and the
+        recorded trace *content* is byte-identical across engines.
     """
     if engine not in ("auto", "mask", "legacy", "kernel"):
         raise ValueError(
@@ -324,7 +335,16 @@ def run_dissemination(
             # auto falls back to the mask engine, an explicit request fails.
             if engine == "kernel":
                 raise ValueError(str(exc)) from exc
+    profiler = NULL_PROFILER if trace is None else trace.profiler
     if kernel is not None:
+        if trace is not None:
+            trace.begin_run(
+                config=config,
+                seed=seed,
+                engine="kernel",
+                factory=factory,
+                faults=faults,
+            )
         topologies = kernels.run_kernel_rounds(
             kernel,
             config,
@@ -335,6 +355,7 @@ def run_dissemination(
             record_topologies=record_topologies,
             track_progress=track_progress,
             faults=bound,
+            trace=trace,
         )
         if bound is not None:
             complete = kernel.completed_flags()
@@ -347,7 +368,8 @@ def run_dissemination(
                     metrics.rounds_executed, metrics.survivor_completion_round
                 )
             )
-        kernel.to_nodes(nodes)
+        with profiler.span("materialise"):
+            kernel.to_nodes(nodes)
         if bound is None:
             correct = (
                 _check_correctness(nodes, placement)
@@ -399,6 +421,15 @@ def run_dissemination(
     # graph, the same object ``after_round`` sees).
     coordinator = getattr(nodes[0], "shared_coordinator", None) if nodes else None
 
+    if trace is not None:
+        trace.begin_run(
+            config=config,
+            seed=seed,
+            engine="mask" if use_mask else "legacy",
+            factory=factory,
+            faults=faults,
+        )
+
     for round_index in range(max_rounds):
         plan = bound.begin_round(round_index) if bound is not None else None
         states = [node.state_view() for node in nodes]
@@ -409,7 +440,8 @@ def run_dissemination(
                 state.known_token_ids
 
         if adversary.sees_messages:
-            outgoing = [node.compose(round_index) for node in nodes]
+            with profiler.span("compose"):
+                outgoing = [node.compose(round_index) for node in nodes]
             if plan is not None and plan.substitute:
                 _substitute_wire(nodes, outgoing, plan.substitute)
             graph = adversary.choose_topology(round_index, config.n, states, outgoing)
@@ -425,7 +457,8 @@ def run_dissemination(
                 coordinator.on_topology(
                     round_index, topology.to_nx() if use_mask else nx_view, nodes
                 )
-            outgoing = [node.compose(round_index) for node in nodes]
+            with profiler.span("compose"):
+                outgoing = [node.compose(round_index) for node in nodes]
             if plan is not None and plan.substitute:
                 _substitute_wire(nodes, outgoing, plan.substitute)
 
@@ -443,7 +476,10 @@ def run_dissemination(
             # nodes mid-round: ``plan.down`` is final only afterwards, so
             # the accounting below must wait for this call — the same
             # ordering the kernel engine uses.
-            eff_indices, eff_indptr = plan.bind_edges(base_indices, base_indptr)
+            with profiler.span("faults"):
+                eff_indices, eff_indptr = plan.bind_edges(
+                    base_indices, base_indptr
+                )
 
         # Budget enforcement and broadcast accounting.  A crashed node's
         # radio is off: it still composes (identical rng consumption keeps
@@ -476,67 +512,73 @@ def run_dissemination(
             metrics.duplicated_deliveries += stats.duplicated
             metrics.corrupted_deliveries += stats.corrupted
             metrics.deliveries += stats.discarded
-            for uid, node in enumerate(nodes):
-                start, stop = int(eff_indptr[uid]), int(eff_indptr[uid + 1])
-                inbox = [
-                    outgoing[v]
-                    for v in eff_indices[start:stop].tolist()
-                    if outgoing[v] is not None
-                ]
-                if inbox:
-                    before = (
-                        (len(node.known), node.coded_rank())
-                        if use_mask
-                        else _legacy_fingerprint(node)
-                    )
-                    node.deliver(round_index, inbox)
-                    metrics.deliveries += len(inbox)
-                    after = (
-                        (len(node.known), node.coded_rank())
-                        if use_mask
-                        else _legacy_fingerprint(node)
-                    )
-                    if after == before:
-                        metrics.useless_deliveries += len(inbox)
-                else:
-                    node.deliver(round_index, inbox)
+            with profiler.span("deliver"):
+                for uid, node in enumerate(nodes):
+                    start, stop = int(eff_indptr[uid]), int(eff_indptr[uid + 1])
+                    inbox = [
+                        outgoing[v]
+                        for v in eff_indices[start:stop].tolist()
+                        if outgoing[v] is not None
+                    ]
+                    if inbox:
+                        before = (
+                            (len(node.known), node.coded_rank())
+                            if use_mask
+                            else _legacy_fingerprint(node)
+                        )
+                        node.deliver(round_index, inbox)
+                        metrics.deliveries += len(inbox)
+                        after = (
+                            (len(node.known), node.coded_rank())
+                            if use_mask
+                            else _legacy_fingerprint(node)
+                        )
+                        if after == before:
+                            metrics.useless_deliveries += len(inbox)
+                    else:
+                        node.deliver(round_index, inbox)
         elif use_mask:
             # The neighbour tuples are cached on the Topology object, so a
             # static or T-stable topology pays the per-bit mask iteration
             # once per object/block instead of once per round.
-            for uid, node in enumerate(nodes):
-                inbox = [
-                    message
-                    for message in map(outgoing.__getitem__, topology.neighbors_tuple(uid))
-                    if message is not None
-                ]
-                if inbox:
-                    before = (len(node.known), node.coded_rank())
-                    node.deliver(round_index, inbox)
-                    metrics.deliveries += len(inbox)
-                    if (len(node.known), node.coded_rank()) == before:
-                        metrics.useless_deliveries += len(inbox)
-                else:
-                    node.deliver(round_index, inbox)
+            with profiler.span("deliver"):
+                for uid, node in enumerate(nodes):
+                    inbox = [
+                        message
+                        for message in map(
+                            outgoing.__getitem__, topology.neighbors_tuple(uid)
+                        )
+                        if message is not None
+                    ]
+                    if inbox:
+                        before = (len(node.known), node.coded_rank())
+                        node.deliver(round_index, inbox)
+                        metrics.deliveries += len(inbox)
+                        if (len(node.known), node.coded_rank()) == before:
+                            metrics.useless_deliveries += len(inbox)
+                    else:
+                        node.deliver(round_index, inbox)
         else:
-            for uid, node in enumerate(nodes):
-                inbox = [
-                    outgoing[neighbour]
-                    for neighbour in sorted(nx_view.neighbors(uid))
-                    if outgoing[neighbour] is not None
-                ]
-                # The fingerprint (a coded_rank() call) is only needed for
-                # nodes that actually receive messages this round; deliver()
-                # only mutates the receiving node, so taking it lazily right
-                # before the call is equivalent to the old eager pass.
-                if inbox:
-                    before = _legacy_fingerprint(node)
-                    node.deliver(round_index, inbox)
-                    metrics.deliveries += len(inbox)
-                    if _legacy_fingerprint(node) == before:
-                        metrics.useless_deliveries += len(inbox)
-                else:
-                    node.deliver(round_index, inbox)
+            with profiler.span("deliver"):
+                for uid, node in enumerate(nodes):
+                    inbox = [
+                        outgoing[neighbour]
+                        for neighbour in sorted(nx_view.neighbors(uid))
+                        if outgoing[neighbour] is not None
+                    ]
+                    # The fingerprint (a coded_rank() call) is only needed
+                    # for nodes that actually receive messages this round;
+                    # deliver() only mutates the receiving node, so taking
+                    # it lazily right before the call is equivalent to the
+                    # old eager pass.
+                    if inbox:
+                        before = _legacy_fingerprint(node)
+                        node.deliver(round_index, inbox)
+                        metrics.deliveries += len(inbox)
+                        if _legacy_fingerprint(node) == before:
+                            metrics.useless_deliveries += len(inbox)
+                    else:
+                        node.deliver(round_index, inbox)
 
         if coordinator is not None:
             coordinator.after_round(
@@ -555,6 +597,26 @@ def run_dissemination(
             )
             metrics.progress.append(
                 (round_index + 1, min(counts), float(np.mean(counts)))
+            )
+
+        if trace is not None:
+            trace.observe_round(
+                round_index,
+                metrics,
+                np.fromiter(
+                    (
+                        (len(node.known) if use_mask else len(node.known_token_ids()))
+                        for node in nodes
+                    ),
+                    dtype=np.int64,
+                    count=config.n,
+                ),
+                np.fromiter(
+                    (node.coded_rank() for node in nodes),
+                    dtype=np.int64,
+                    count=config.n,
+                ),
+                plan,
             )
 
         if metrics.completion_round is None:

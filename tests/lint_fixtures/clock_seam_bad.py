@@ -1,0 +1,36 @@
+"""Fixture: wall-clock reads outside the sanctioned Clock seam (REP103).
+
+The only sanctioned wall-clock call site in ``src/`` is
+``repro.obs.clock.SystemClock.now`` (which carries a justified
+``# repro: allow[REP103]``).  This fixture proves that a profiler-looking
+module which reads the clock directly — instead of accepting an injected
+:class:`~repro.obs.clock.Clock` — still fires REP103 everywhere.
+
+Deliberately broken — excluded from the repo's own lint run.
+"""
+
+import time
+
+
+class HomegrownClock:
+    """A Clock look-alike: naming it a clock does not sanction the read."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class InlineProfiler:
+    """A profiler that times spans itself instead of taking a Clock."""
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self.start
+
+
+def sanctioned_seam_shape() -> float:
+    # The one acceptable shape, as repro.obs.clock.SystemClock writes it:
+    # a justified inline suppression on the single seam call site.
+    return time.perf_counter()  # repro: allow[REP103] fixture mirrors the Clock seam's sanctioned form

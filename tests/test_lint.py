@@ -127,6 +127,24 @@ def test_rep103_fires_in_src_not_bench():
     assert rule_lines(bench_active, "REP101"), "stdlib random stays banned in bench"
 
 
+def test_rep103_fires_outside_the_clock_seam():
+    """Bare wall-clock reads outside repro.obs.clock.SystemClock trip CI.
+
+    The Clock seam is the single sanctioned REP103 exception: only the
+    justified inline ``allow`` on ``SystemClock.now`` survives.  A
+    homegrown clock class or a self-timing profiler fires like any other
+    wall-clock read — the name ``now`` sanctions nothing.
+    """
+    active, suppressed = lint_fixture("clock_seam_bad.py")
+    lines = rule_lines(active, "REP103")
+    assert line_of("clock_seam_bad.py", "time.perf_counter()", occurrence=0) in lines
+    assert line_of("clock_seam_bad.py", "time.perf_counter()", occurrence=1) in lines
+    assert line_of("clock_seam_bad.py", "time.perf_counter() - self.start") in lines
+    sanctioned = line_of("clock_seam_bad.py", "# repro: allow[REP103] fixture")
+    assert sanctioned not in lines
+    assert sanctioned in rule_lines(suppressed, "REP103")
+
+
 # ----------------------------------------------------------------------
 # picklability
 # ----------------------------------------------------------------------
