@@ -50,9 +50,10 @@ ADAPTIVE_BASELINE_FILE = (
 
 #: Hostile catalog + degradation sweeps: small enough to stay CI-cheap.
 N = 48
-#: Two highest uids stay payload-free (standard_instance places tokens at
-#: uids 0..k-1), so Byzantine senders at n-2 / n-1 never hold tokens.
-K = N - 2
+#: Three highest uids stay payload-free (standard_instance places tokens at
+#: uids 0..k-1), so Byzantine senders at n-2 / n-1 and the three fake quorum
+#: members at n-3 .. n-1 never hold tokens.
+K = N - 3
 #: Token forwarding needs ~0.3 * n * k rounds benign (see BENCH_SCENARIOS);
 #: leave headroom for lossy runs while keeping non-completion observable.
 MAX_ROUNDS = 3000
@@ -103,6 +104,13 @@ def _axes(model: FaultModel) -> str:
         )
     if model.strategy is not None:
         axes.append(f"strategy={type(model.strategy).__name__}")
+    if model.collisions is not None:
+        label = f"collisions(p={model.collisions.probability}"
+        if model.collisions.capture:
+            label += ",capture"
+        axes.append(label + ")")
+    if model.quorum is not None:
+        axes.append(f"quorum_fake={len(model.quorum.fake)}")
     return "+".join(axes)
 
 
@@ -132,6 +140,7 @@ def _catalog_rows() -> list[dict]:
                 "completion_round": metrics.survivor_completion_round,
                 "dropped": metrics.dropped_deliveries,
                 "corrupted": metrics.corrupted_deliveries,
+                "collided": metrics.collided_deliveries,
                 "recoveries": metrics.recoveries,
                 "rounds_per_s": round(metrics.rounds_executed / elapsed),
             }

@@ -13,11 +13,20 @@ innovative — either way the protocol keeps its dissemination guarantee and
 pays only in rounds.  Two second-generation fault mixes ride along: an
 adaptive adversary that erases live cut edges each round, and
 churn-derived crash–recovery intervals where nodes rejoin mid-run with
-stale state.
+stale state.  Third-generation axes complete the tour: radio-collision
+rounds (a receiver hearing two or more simultaneous senders keeps nothing
+— or, with capture, only the lowest uid), fake quorum membership, and
+protocol-state-aware adversaries that target the least-informed node or
+the knowledge frontier.
 
 The Byzantine nodes sit at the two highest uids, which hold no tokens
 under the standard placement, so the honest population still owns every
-token and completion stays reachable.
+token and completion stays reachable.  The same placement rule covers the
+fake quorum members at uids n-3..n-1: a fake member never originates an
+honest token, and every completion figure under a quorum model — the stop
+rule, ``survivors`` and ``surviving_completion_rate`` — is computed over
+the *honest* quorum only (the ``n >= 2f+1`` ByzQuorum bound is validated
+at bind time).
 
 Run with:  python examples/hostile_gossip.py
 
@@ -39,7 +48,7 @@ from repro.scenarios import SCENARIOS, fault_model_for, make_scenario
 from repro.simulation import format_table, standard_instance
 
 N = 32
-K = N - 2  # tokens live at uids 0..29; uids 30, 31 are payload-free
+K = N - 3  # tokens live at uids 0..28; uids 29, 30, 31 are payload-free
 TOKEN_BITS = 16
 
 
@@ -55,7 +64,12 @@ def _describe(model: FaultModel | None) -> str:
         recovering = sum(1 for entry in model.crashes if len(entry) == 3)
         axes.append(f"{len(model.crashes)} crashes ({recovering} recover)")
     if model.strategy is not None:
-        axes.append("adaptive bridge loss")
+        axes.append(type(model.strategy).__name__)
+    if model.collisions is not None:
+        mode = "capture" if model.collisions.capture else "silence"
+        axes.append(f"collisions p={model.collisions.probability} ({mode})")
+    if model.quorum is not None:
+        axes.append(f"{len(model.quorum.fake)} fake quorum members")
     return " + ".join(axes)
 
 
@@ -80,6 +94,13 @@ def main(trace_path: str | None = None) -> None:
         # mid-run holding whatever knowledge they crashed with).
         FaultModel(strategy=BridgeLossStrategy(probability=0.5)),
         fault_model_for("crash_recover_churn", N, seed=0),
+        # Third-generation axes: capture-mode radio collisions, fake quorum
+        # members (honest-quorum completion semantics), and state-aware
+        # adversaries reading per-round knowledge counts / coded ranks.
+        fault_model_for("collision_waypoint", N, seed=0),
+        fault_model_for("quorum_fake3_markov", N, seed=0),
+        fault_model_for("frontier_adaptive_mix", N, seed=0),
+        fault_model_for("straggler_capture_radio", N, seed=0),
     ]
 
     # The entry the optional trace records: the full hostile mix of loss
@@ -126,6 +147,7 @@ def main(trace_path: str | None = None) -> None:
                 ),
                 "dropped": metrics.dropped_deliveries,
                 "corrupted": metrics.corrupted_deliveries,
+                "collided": metrics.collided_deliveries,
                 "recoveries": metrics.recoveries,
             }
         )
@@ -133,8 +155,12 @@ def main(trace_path: str | None = None) -> None:
     print("\nMalformed Byzantine vectors are discarded by span verification and only")
     print("cost wasted deliveries; 20% loss merely stretches the schedule. The")
     print("adaptive adversary severs exactly the edges a spanning forest needs, and")
-    print("recovering crash victims rejoin with stale state — coded gossip degrades")
-    print("gracefully, and completion survives every fault mix above.")
+    print("recovering crash victims rejoin with stale state. Collision rounds erase")
+    print("crowded receivers' traffic on the air, fake quorum members add dead")
+    print("weight the honest-quorum completion rule simply excludes, and the")
+    print("state-aware adversaries strangle whichever node the live knowledge")
+    print("counts mark as furthest behind — coded gossip degrades gracefully, and")
+    print("completion survives every fault mix above.")
 
     if recorder is not None:
         saved = recorder.save(trace_path)

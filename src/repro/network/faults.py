@@ -28,7 +28,20 @@ The adversary axis controls *topology*; this module adds the orthogonal
   source span (receivers verify against a :class:`SpanGuard` — the
   homomorphic-signature model — and discard them), ``"replay"`` re-sends a
   fixed in-span source vector (it verifies, so receivers insert it; it is
-  simply almost never innovative).
+  simply almost never innovative);
+* **radio collisions** — a :class:`CollisionModel` applies the classic
+  radio-network reception rule per round: a receiver hearing two or more
+  simultaneous senders over the effective CSR gets nothing (or, with
+  ``capture``, keeps only the lowest-uid sender);
+* **quorum membership** — a :class:`QuorumModel` declares ``f`` fake nodes
+  among ``n >= 2f + 1`` (the ByzQuorum membership shape): fake nodes run
+  the protocol but are not honest quorum members, never originate honest
+  tokens, and are excluded from survivor metrics and stop rules;
+* **state-aware strategies** — strategies with ``wants_state = True``
+  additionally receive a read-only :class:`StateView` of protocol progress
+  (per-node knowledge counts and coded ranks) and can target the
+  least-knowledgeable node (:class:`StragglerIsolationStrategy`) or the
+  knowledge frontier (:class:`FrontierLossStrategy`).
 
 A :class:`FaultModel` is a frozen, picklable description.  The runner binds
 it once per run (:meth:`FaultModel.bind`) against a dedicated spawned rng
@@ -39,9 +52,10 @@ stream, and each round proceeds through a :class:`RoundFaultPlan`:
    crash intervals;
 2. ``bind_edges`` — consults the adaptive strategy (which sees the round's
    canonical CSR and may target edges or crash nodes), draws per-edge
-   loss/duplication, and edits everything into the *effective* CSR: crashed
-   endpoints, partition-crossing edges and lost edges removed, duplicated
-   edges repeated adjacently.
+   loss/duplication, applies the radio collision rule to what would have
+   been delivered, and edits everything into the *effective* CSR: crashed
+   endpoints, partition-crossing edges, lost edges and collided edges
+   removed, duplicated edges repeated adjacently.
 
 All three engines consume the same effective CSR (and the identical draw
 order), which is what keeps faulted :class:`~repro.simulation.metrics.RunMetrics`
@@ -63,12 +77,17 @@ __all__ = [
     "BoundFaults",
     "BridgeLossStrategy",
     "BudgetedLossStrategy",
+    "CollisionModel",
     "FaultModel",
     "FaultStrategy",
+    "FrontierLossStrategy",
     "PartitionModel",
+    "QuorumModel",
     "RoundFaultPlan",
     "RoundFaultStats",
     "SpanGuard",
+    "StateView",
+    "StragglerIsolationStrategy",
     "TargetedCrashStrategy",
     "crash_schedule_from_churn",
 ]
@@ -80,6 +99,28 @@ _NEVER = np.iinfo(np.int64).max
 # ----------------------------------------------------------------------
 # adaptive strategies (the FaultStrategy seam)
 # ----------------------------------------------------------------------
+class StateView:
+    """Read-only protocol-progress snapshot for state-aware strategies.
+
+    The engines expose exactly the two vectorized columns the trace layer
+    already extracts — per-node knowledge counts and coded generation ranks
+    — snapshotted after compose and before delivery, so the view is
+    engine-invariant by the same parity contract that pins trace content.
+    Strategies must treat the arrays as read-only.
+    """
+
+    __slots__ = ("known_counts", "coded_ranks")
+
+    def __init__(self, known_counts, coded_ranks):
+        self.known_counts = np.asarray(known_counts, dtype=np.int64)
+        self.coded_ranks = np.asarray(coded_ranks, dtype=np.int64)
+
+    def progress(self) -> np.ndarray:
+        """Per-node progress score: tokens known or coded rank, whichever
+        is larger (a broadcasting node's knowledge rides in its rank)."""
+        return np.maximum(self.known_counts, self.coded_ranks)
+
+
 class FaultStrategy:
     """Declarative adaptive fault adversary behind :class:`FaultModel`.
 
@@ -99,7 +140,16 @@ class FaultStrategy:
     Any randomness must come from the ``rng`` handed in (the run's dedicated
     fault stream) — strategies drawing from global numpy state break the
     3-engine byte-identity contract (and trip lint rule REP102).
+
+    Strategies that target protocol *progress* instead of topology set the
+    class attribute ``wants_state = True``; their bound ``plan_round`` then
+    receives an extra read-only :class:`StateView` argument.  The runner
+    gates kernel eligibility on ``RoundKernel.supports_state_views`` the
+    same way omniscient ``sees_messages`` adversaries are gated.
     """
+
+    #: Whether plan_round needs a StateView of protocol progress.
+    wants_state = False
 
     def bind(self, n: int) -> "BoundStrategy":
         """Create the per-run mutable state for a network of ``n`` nodes."""
@@ -353,6 +403,114 @@ class _BoundBudgetedLoss(BoundStrategy):
         return _edge_positions_lost(senders, receivers, self.n, targets), ()
 
 
+def _bernoulli_subset(
+    candidates: np.ndarray, probability: float, rng: np.random.Generator
+) -> np.ndarray | None:
+    """Keep each candidate edge with ``probability``; None when none remain.
+
+    At ``probability == 1.0`` no randomness is consumed (the strategy is
+    deterministic and composes with stochastic axes without perturbing
+    their draws); otherwise one Bernoulli per candidate edge, drawn in CSR
+    order from the fault stream.
+    """
+    if not candidates.any():
+        return None
+    if probability >= 1.0:
+        return candidates
+    positions = np.flatnonzero(candidates)
+    hit = rng.random(positions.size) < probability
+    if not hit.any():
+        return None
+    lost = np.zeros(candidates.size, dtype=bool)
+    lost[positions[hit]] = True
+    return lost
+
+
+@dataclass(frozen=True)
+class StragglerIsolationStrategy(FaultStrategy):
+    """Isolate the least-knowledgeable node: each round, every live edge
+    incident to the straggler (the live node with the smallest
+    :meth:`StateView.progress` score, lowest uid on ties) is independently
+    lost with ``probability``.
+
+    This is the protocol-state-aware worst case for gossip: the adversary
+    spends its erasures exactly where dissemination still has work to do,
+    starving the node the protocol most needs to reach.
+    """
+
+    probability: float = 1.0
+    wants_state = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def bind(self, n: int) -> "BoundStrategy":
+        return _BoundStragglerIsolation(self, n)
+
+
+class _BoundStragglerIsolation(BoundStrategy):
+    def __init__(self, strategy: StragglerIsolationStrategy, n: int):
+        self.strategy = strategy
+        self.n = n
+
+    def plan_round(self, round_index, senders, receivers, indptr, down, rng, state):
+        live = ~down
+        if not live.any():
+            return None, ()
+        score = np.where(live, state.progress(), _NEVER)
+        straggler = int(np.argmin(score))
+        incident = (
+            ((senders == straggler) | (receivers == straggler))
+            & ~down[senders]
+            & ~down[receivers]
+        )
+        lost = _bernoulli_subset(incident, self.strategy.probability, rng)
+        return lost, ()
+
+
+@dataclass(frozen=True)
+class FrontierLossStrategy(FaultStrategy):
+    """Drop edges crossing the knowledge frontier: each round, every live
+    edge whose sender's :meth:`StateView.progress` score strictly exceeds
+    its receiver's is independently lost with ``probability``.
+
+    Frontier edges are exactly the ones over which knowledge can flow
+    downhill, so this adversary attacks useful transfers while leaving
+    already-converged regions untouched.
+    """
+
+    probability: float = 1.0
+    wants_state = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def bind(self, n: int) -> "BoundStrategy":
+        return _BoundFrontierLoss(self, n)
+
+
+class _BoundFrontierLoss(BoundStrategy):
+    def __init__(self, strategy: FrontierLossStrategy, n: int):
+        self.strategy = strategy
+        self.n = n
+
+    def plan_round(self, round_index, senders, receivers, indptr, down, rng, state):
+        score = state.progress()
+        frontier = (
+            ~down[senders]
+            & ~down[receivers]
+            & (score[senders] > score[receivers])
+        )
+        lost = _bernoulli_subset(frontier, self.strategy.probability, rng)
+        return lost, ()
+
+
 # ----------------------------------------------------------------------
 # partitions
 # ----------------------------------------------------------------------
@@ -393,6 +551,64 @@ class PartitionModel:
 
 
 # ----------------------------------------------------------------------
+# radio collisions and quorum membership
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CollisionModel:
+    """Radio-style collision rounds over the effective CSR.
+
+    With ``probability`` per round (one Bernoulli from the fault stream,
+    drawn only when ``0 < probability < 1``) the round is a *collision
+    round*: deliveries are grouped by receiver, and a receiver hearing two
+    or more simultaneous senders receives nothing — the classic
+    radio-network reception rule.  With ``capture`` the strongest signal
+    wins instead: the lowest-uid delivering sender gets through and every
+    other simultaneous delivery is collided away.
+
+    Only deliveries that would otherwise have happened collide: silent
+    senders, crashed endpoints, lost edges and discarded Byzantine copies
+    occupy no air.  A duplicated edge is one transmission (its echo rides
+    or dies with it).
+    """
+
+    probability: float = 1.0
+    capture: bool = False
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class QuorumModel:
+    """Honest/fake quorum membership (the ByzQuorum shape): ``f`` fake
+    nodes among ``n >= 2f + 1``.
+
+    Fake nodes run the protocol like everyone else — they relay, vote and
+    receive — but they are not honest quorum members: they must never
+    originate honest tokens (the runner rejects placements that seed them),
+    they are excluded from :attr:`BoundFaults.survivor_indices`, and
+    completion, stop rules and survivor metrics are computed over the
+    honest quorum only.  Byzantine sender selection composes freely: a fake
+    node may also be a Byzantine sender.
+    """
+
+    fake: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        fake = tuple(sorted(int(uid) for uid in self.fake))
+        if not fake:
+            raise ValueError("a QuorumModel needs at least one fake node")
+        if len(set(fake)) != len(fake):
+            raise ValueError("duplicate fake quorum uids")
+        if fake[0] < 0:
+            raise ValueError("fake quorum uids must be >= 0")
+        object.__setattr__(self, "fake", fake)
+
+
+# ----------------------------------------------------------------------
 # the fault model
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -427,7 +643,14 @@ class FaultModel:
         scheduled windows.
     strategy:
         Optional :class:`FaultStrategy` — an adaptive adversary consulted
-        every round with the round's topology.
+        every round with the round's topology (and, for ``wants_state``
+        strategies, a :class:`StateView` of protocol progress).
+    collisions:
+        Optional :class:`CollisionModel` applying the radio reception rule
+        to each collision round's deliveries.
+    quorum:
+        Optional :class:`QuorumModel` declaring fake quorum members that
+        survivor metrics and stop rules exclude.
 
     The model is frozen and built from plain data, so scenario fault
     factories pickle into sweep workers (REP201).
@@ -440,6 +663,8 @@ class FaultModel:
     byzantine_mode: str = "malformed"
     partitions: PartitionModel | None = None
     strategy: FaultStrategy | None = None
+    collisions: CollisionModel | None = None
+    quorum: QuorumModel | None = None
 
     def __post_init__(self):
         if not 0.0 <= self.loss <= 1.0:
@@ -500,6 +725,12 @@ class FaultModel:
             self.strategy, FaultStrategy
         ):
             raise ValueError("strategy must be a FaultStrategy")
+        if self.collisions is not None and not isinstance(
+            self.collisions, CollisionModel
+        ):
+            raise ValueError("collisions must be a CollisionModel")
+        if self.quorum is not None and not isinstance(self.quorum, QuorumModel):
+            raise ValueError("quorum must be a QuorumModel")
         object.__setattr__(self, "crashes", crashes)
         object.__setattr__(self, "byzantine", byzantine)
 
@@ -513,6 +744,8 @@ class FaultModel:
             or self.byzantine
             or self.partitions is not None
             or self.strategy is not None
+            or self.collisions is not None
+            or self.quorum is not None
         )
 
     def bind(self, n: int, rng: np.random.Generator) -> "BoundFaults":
@@ -579,6 +812,7 @@ class RoundFaultStats:
     duplicated: int
     corrupted: int
     discarded: int
+    collided: int = 0
 
 
 class BoundFaults:
@@ -603,6 +837,18 @@ class BoundFaults:
         for uid in model.byzantine:
             if uid >= n:
                 raise ValueError(f"Byzantine uid {uid} out of range for n={n}")
+        fake = np.zeros(n, dtype=bool)
+        if model.quorum is not None:
+            f = len(model.quorum.fake)
+            if model.quorum.fake[-1] >= n:
+                raise ValueError(
+                    f"fake quorum uid {model.quorum.fake[-1]} out of range for n={n}"
+                )
+            if n < 2 * f + 1:
+                raise ValueError(
+                    f"a quorum with {f} fake nodes needs n >= {2 * f + 1}, got n={n}"
+                )
+            fake[list(model.quorum.fake)] = True
         self.model = model
         self.n = int(n)
         self.rng = rng
@@ -618,6 +864,8 @@ class BoundFaults:
         self.byz = np.zeros(n, dtype=bool)
         if model.byzantine:
             self.byz[list(model.byzantine)] = True
+        #: Fake quorum members (never honest survivors).
+        self.fake = fake
         self.guard: SpanGuard | None = None
 
     @property
@@ -625,10 +873,19 @@ class BoundFaults:
         """Nodes never permanently crashed — the population completion and
         correctness are measured over.  Recovering nodes *are* survivors
         (they are expected to reconverge after rejoining), Byzantine nodes
-        are survivors (their receive path is honest), and the set shrinks
-        when an adaptive strategy claims a victim — query it per round.
+        are survivors (their receive path is honest), fake quorum members
+        are *not* (the honest quorum is the population that counts), and
+        the set shrinks when an adaptive strategy claims a victim — query
+        it per round.
         """
-        return np.flatnonzero(~self.permanent & ~self.strategy_crashed)
+        return np.flatnonzero(
+            ~self.permanent & ~self.strategy_crashed & ~self.fake
+        )
+
+    @property
+    def wants_state(self) -> bool:
+        """Whether the bound strategy needs a per-round StateView."""
+        return self.model.strategy is not None and self.model.strategy.wants_state
 
     def down_at(self, round_index: int) -> np.ndarray:
         """Boolean node vector: who is crashed during ``round_index``."""
@@ -726,24 +983,35 @@ class RoundFaultPlan:
         self._extra: np.ndarray | None = None
         self._viable: np.ndarray | None = None
         self._rejected: np.ndarray | None = None
+        self._collided: np.ndarray | None = None
 
     def bind_edges(
-        self, indices: np.ndarray, indptr: np.ndarray
+        self,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        active: np.ndarray | None = None,
+        state: StateView | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Draw per-edge faults over the canonical CSR; return the effective CSR.
 
         The effective CSR removes edges with a crashed endpoint, removes
         partition-crossing edges while a window is open, removes lost edges
-        (Bernoulli plus strategy-targeted) and discarded
-        (malformed-Byzantine) edges, and repeats duplicated edges adjacently
-        — per-receiver segments stay in the engines' canonical
+        (Bernoulli plus strategy-targeted), discarded (malformed-Byzantine)
+        edges and collided edges, and repeats duplicated edges adjacently —
+        per-receiver segments stay in the engines' canonical
         ascending-sender order with duplicates adjacent.  Loss is drawn
-        before duplication, each only when its probability is non-zero, and
-        the adaptive strategy is consulted after both, so benign axes
-        consume no rng and existing stochastic axes keep their draw order.
-        Strategy crashes take effect immediately: ``self.down`` is final
-        only after this method returns, so engines must compute their
-        sending mask afterwards.
+        before duplication, each only when its probability is non-zero, the
+        adaptive strategy is consulted after both, and the collision
+        round's single Bernoulli (drawn only when ``0 < probability < 1``)
+        comes last, so benign axes consume no rng and existing stochastic
+        axes keep their draw order.  Strategy crashes take effect
+        immediately: ``self.down`` is final only after this method returns,
+        so engines must compute their sending mask afterwards.
+
+        ``active`` is the engines' compose-time transmission mask (who
+        composed a message this round); collisions only count transmitting
+        senders as occupying air.  ``state`` is the read-only
+        :class:`StateView` a ``wants_state`` strategy requires.
         """
         model = self.bound.model
         rng = self.bound.rng
@@ -763,9 +1031,20 @@ class RoundFaultPlan:
         )
         strategy = self.bound.strategy_state
         if strategy is not None:
-            targeted, crashed = strategy.plan_round(
-                self.round_index, senders, receivers, indptr, self.down, rng
-            )
+            if self.bound.wants_state:
+                if state is None:
+                    raise RuntimeError(
+                        f"{type(model.strategy).__name__} wants protocol state "
+                        "but the engine supplied no StateView to bind_edges"
+                    )
+                targeted, crashed = strategy.plan_round(
+                    self.round_index, senders, receivers, indptr, self.down,
+                    rng, state,
+                )
+            else:
+                targeted, crashed = strategy.plan_round(
+                    self.round_index, senders, receivers, indptr, self.down, rng
+                )
             for uid in crashed:
                 self.bound.strategy_crashed[uid] = True
                 self.down[uid] = True
@@ -784,8 +1063,36 @@ class RoundFaultPlan:
             # Malformed mode, or no span guard for this protocol: every
             # Byzantine copy is discarded at the receiver.
             rejected = byz_edge
+        collided = np.zeros(edges, dtype=bool)
+        collisions = model.collisions
+        if collisions is not None:
+            p = collisions.probability
+            # One scalar Bernoulli per round from the fault stream, after
+            # every per-edge draw; the endpoints consume no randomness.
+            collide_round = p >= 1.0 or (p > 0.0 and bool(rng.random() < p))
+            if collide_round and edges:
+                transmitting = (
+                    ~self.down if active is None else (active & ~self.down)
+                )
+                delivering = viable & ~lost & ~rejected & transmitting[senders]
+                flows = np.concatenate(
+                    (
+                        np.zeros(1, dtype=np.int64),
+                        np.cumsum(delivering, dtype=np.int64),
+                    )
+                )
+                crowded = (flows[indptr[1:]] - flows[indptr[:-1]]) >= 2
+                collided = delivering & crowded[receivers]
+                if collisions.capture:
+                    # CSR segments ascend by sender uid, so the first
+                    # delivering edge of a segment is the lowest-uid sender
+                    # — the capture winner keeps its delivery.
+                    seg_start = np.repeat(flows[indptr[:-1]], np.diff(indptr))
+                    collided &= (flows[:-1] - seg_start) != 0
         copies = np.where(
-            viable & ~lost & ~rejected, 1 + extra.astype(np.int64), 0
+            viable & ~lost & ~rejected & ~collided,
+            1 + extra.astype(np.int64),
+            0,
         )
         eff_indices = np.repeat(senders, copies)
         cumulative = np.concatenate(
@@ -798,6 +1105,7 @@ class RoundFaultPlan:
         self._viable = viable
         self._rejected = rejected
         self._byz_edge = byz_edge
+        self._collided = collided
         return eff_indices, eff_indptr
 
     @property
@@ -813,21 +1121,26 @@ class RoundFaultPlan:
         a crashed receiver is counted nowhere (the radio it would reach is
         off), and a partition-crossing edge simply does not exist; faults
         only score against deliveries that would otherwise have happened.
+        Collided copies count as ``collided`` and nowhere else (a collided
+        duplicate or Byzantine copy died on the air, not at the receiver).
         """
         if self._senders is None:
             raise RuntimeError("bind_edges must run before account")
         live = sending[self._senders] & self._viable
         dropped = int(np.count_nonzero(self._lost & live))
         surviving = ~self._lost & live
-        duplicated = int(np.count_nonzero(self._extra & surviving))
+        delivered = surviving & ~self._collided
+        duplicated = int(np.count_nonzero(self._extra & delivered))
         copies = 1 + self._extra.astype(np.int64)
-        corrupted = int(copies[surviving & self._byz_edge].sum())
-        discarded = int(copies[surviving & self._rejected].sum())
+        corrupted = int(copies[delivered & self._byz_edge].sum())
+        discarded = int(copies[delivered & self._rejected].sum())
+        collided = int(copies[surviving & self._collided].sum())
         return RoundFaultStats(
             dropped=dropped,
             duplicated=duplicated,
             corrupted=corrupted,
             discarded=discarded,
+            collided=collided,
         )
 
 

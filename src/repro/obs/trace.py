@@ -17,6 +17,9 @@ array                     shape / dtype              meaning
                                                      RunMetrics counters (see
                                                      ``ROUND_COUNTERS``)
 ``partition_active``      ``(rounds,)`` uint8        a partition window was open
+``honest_survivors``      ``(rounds,)`` int64        honest-quorum survivor count
+                                                     (fake members and crash
+                                                     victims excluded)
 ========================  =========================  ==========================
 
 Trace *content* — every array above plus the manifest's ``content``
@@ -58,7 +61,9 @@ __all__ = [
 ]
 
 #: Trace format version (bumped on any content-schema change).
-SCHEMA = 1
+#: 2: added the ``collided_deliveries`` counter column and the
+#: ``honest_survivors`` content array (third-generation fault axis).
+SCHEMA = 2
 
 #: Cumulative RunMetrics counters recorded as per-round deltas, in column
 #: order.  Every engine updates these identically per round — that is the
@@ -72,6 +77,7 @@ ROUND_COUNTERS = (
     "dropped_deliveries",
     "duplicated_deliveries",
     "corrupted_deliveries",
+    "collided_deliveries",
 )
 
 #: Arrays whose equality defines trace-content identity (everything; the
@@ -82,6 +88,7 @@ CONTENT_ARRAYS = (
     "down_nodes",
     *ROUND_COUNTERS,
     "partition_active",
+    "honest_survivors",
 )
 
 
@@ -182,6 +189,7 @@ class TraceRecorder:
         self._ranks: list[np.ndarray] = []
         self._down: list[np.ndarray] = []
         self._partition: list[int] = []
+        self._honest: list[int] = []
         self._deltas: dict[str, list[int]] = {name: [] for name in ROUND_COUNTERS}
         self._previous: dict[str, int] = dict.fromkeys(ROUND_COUNTERS, 0)
 
@@ -258,9 +266,11 @@ class TraceRecorder:
         if plan is not None:
             self._down.append(_pack_bool_row(plan.down, self._words))
             self._partition.append(int(plan.partition_active))
+            self._honest.append(int(plan.bound.survivor_indices.size))
         else:
             self._down.append(np.zeros(self._words, dtype=np.uint64))
             self._partition.append(0)
+            self._honest.append(self._n)
         for name in ROUND_COUNTERS:
             value = int(getattr(metrics, name))
             self._deltas[name].append(value - self._previous[name])
@@ -289,6 +299,7 @@ class TraceRecorder:
                 else np.zeros((0, self._words), dtype=np.uint64)
             ),
             "partition_active": np.asarray(self._partition, dtype=np.uint8),
+            "honest_survivors": np.asarray(self._honest, dtype=np.int64),
         }
         for name in ROUND_COUNTERS:
             arrays[name] = np.asarray(self._deltas[name], dtype=np.int64)

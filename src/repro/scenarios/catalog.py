@@ -31,8 +31,12 @@ from ..network.dynamics import (
 from ..network.faults import (
     BridgeLossStrategy,
     BudgetedLossStrategy,
+    CollisionModel,
     FaultModel,
+    FrontierLossStrategy,
     PartitionModel,
+    QuorumModel,
+    StragglerIsolationStrategy,
     crash_schedule_from_churn,
 )
 
@@ -323,6 +327,34 @@ def _budgeted_mix_faults(n: int, seed: int) -> FaultModel:
     )
 
 
+def _collision_capture_faults(n: int, seed: int) -> FaultModel:
+    # Every round is a collision round; capture keeps the lowest-uid sender
+    # per crowded receiver (the classic radio capture effect).
+    return FaultModel(collisions=CollisionModel(probability=1.0, capture=True))
+
+
+def _quorum_fake3_faults(n: int, seed: int) -> FaultModel:
+    # Three fake quorum members at the highest uids: `standard_instance`
+    # with k <= n - 3 keeps them payload-free, so the honest quorum can
+    # still complete; n >= 7 satisfies the n >= 2f+1 quorum bound.
+    return FaultModel(quorum=QuorumModel(fake=(n - 3, n - 2, n - 1)))
+
+
+def _frontier_mix_faults(n: int, seed: int) -> FaultModel:
+    # Background loss plus a state-aware adversary erasing half of the
+    # knowledge-frontier edges (informed -> less-informed) every round.
+    return FaultModel(loss=0.05, strategy=FrontierLossStrategy(probability=0.5))
+
+
+def _straggler_capture_faults(n: int, seed: int) -> FaultModel:
+    # A state-aware isolator severing the least-informed node's edges,
+    # stacked on capture-mode radio collisions.
+    return FaultModel(
+        collisions=CollisionModel(probability=0.5, capture=True),
+        strategy=StragglerIsolationStrategy(probability=0.75),
+    )
+
+
 register_scenario(
     Scenario(
         name="edge_markov",
@@ -531,5 +563,57 @@ register_scenario(
         process="edge-markov",
         guarantees=("connected", "crashes recover", "adaptive budgeted loss"),
         faults=_budgeted_mix_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="collision_waypoint",
+        description=(
+            "waypoint radio where every round collides: receivers hearing "
+            ">=2 senders capture only the lowest uid"
+        ),
+        build=_build_waypoint_radio,
+        process="waypoint",
+        guarantees=("connected", "radio collisions"),
+        faults=_collision_capture_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="quorum_fake3_markov",
+        description=(
+            "edge-Markov evolution with 3 fake quorum members (n >= 2f+1): "
+            "completion and survivor metrics run over the honest quorum only"
+        ),
+        build=_build_edge_markov,
+        process="edge-markov",
+        guarantees=("connected", "honest quorum n>=2f+1"),
+        faults=_quorum_fake3_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="frontier_adaptive_mix",
+        description=(
+            "edge-Markov evolution under 5% loss + a state-aware adversary "
+            "erasing half the knowledge-frontier edges each round"
+        ),
+        build=_build_edge_markov,
+        process="edge-markov",
+        guarantees=("connected", "state-aware frontier loss"),
+        faults=_frontier_mix_faults,
+    )
+)
+register_scenario(
+    Scenario(
+        name="straggler_capture_radio",
+        description=(
+            "waypoint radio with capture-mode collision rounds (p=0.5) + a "
+            "state-aware isolator severing the least-informed node's edges"
+        ),
+        build=_build_waypoint_radio,
+        process="waypoint",
+        guarantees=("connected", "radio collisions", "state-aware isolation"),
+        faults=_straggler_capture_faults,
     )
 )

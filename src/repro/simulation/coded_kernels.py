@@ -58,9 +58,11 @@ from ..algorithms.greedy_forward import GreedyForwardNode, resolved_phase_window
 from ..algorithms.indexed_broadcast import IndexedBroadcastNode
 from ..algorithms.naive_coded import NaiveCodedNode
 from ..algorithms.token_forwarding import tokens_per_message
+from ..coding.rlnc import Generation
 from ..gf import GF2Basis, GF2BasisBatch, masks_to_packed, packed_to_masks
 from ..network.adversary import NodeStateView
 from ..network.topology import _iter_bits
+from ..tokens.message import ControlMessage, TokenForwardMessage
 from .kernels import (
     KernelUnsupported,
     RoundKernel,
@@ -420,6 +422,7 @@ class NaiveCodedKernel(RoundKernel):
     """
 
     message_name = "CodedMessage"
+    supports_message_views = True
 
     @classmethod
     def supports(cls, config) -> bool:
@@ -570,6 +573,32 @@ class NaiveCodedKernel(RoundKernel):
                         (holders.size, core.words),
                     )
                     core.insert_batch(holders, vectors)
+
+    def wire_message(self, uid, round_index):
+        phase, _offset, iteration = self._phase(round_index)
+        if phase == "flood":
+            # Window bits ascend in token-id order — exactly the node's
+            # sorted candidate prefix.
+            return ControlMessage(
+                sender=uid,
+                fields={
+                    "ids": tuple(
+                        self.tokens[i].token_id
+                        for i in _row_bits(self._flood_send[uid])
+                    )
+                },
+            )
+        # Broadcast phase: the batch already drew this round's combination
+        # in compose_all, so the view re-wraps the cached combined row —
+        # never a second rng draw.
+        k = int(self.gen_of[uid])
+        mask = packed_to_masks(self._coded_send[k][uid : uid + 1])[0]
+        return Generation(
+            k=k,
+            payload_bits=self.payload_bits_per_dim,
+            field_order=self.config.field_order,
+            generation_id=iteration + 1,
+        ).message_from_mask(uid, mask)
 
     # ------------------------------------------------------------------
     def deliver_all(self, round_index, indices, indptr, active, counts):
@@ -753,6 +782,7 @@ class GreedyForwardKernel(RoundKernel):
     """
 
     message_name = "CodedMessage"
+    supports_message_views = True
 
     @classmethod
     def supports(cls, config) -> bool:
@@ -958,6 +988,33 @@ class GreedyForwardKernel(RoundKernel):
                     core.insert_batch(
                         leader_array, masks_to_packed([source], core.words)
                     )
+
+    def wire_message(self, uid, round_index):
+        phase, offset, iteration = self._phase(round_index)
+        if phase == "gather":
+            if offset < self.gather_rounds:
+                # ``_chosen`` preserves the node's pick order (insertion-order
+                # indexing plus the same rng.choice draw).
+                return TokenForwardMessage(
+                    sender=uid,
+                    tokens=tuple(self.tokens[i] for i in self._chosen[uid]),
+                )
+            return ControlMessage(
+                sender=uid,
+                fields={
+                    "count": max(0, int(self.lead_count[uid])),
+                    "leader": max(0, int(self.lead_uid[uid])),
+                },
+            )
+        # Broadcast phase: re-wrap the combination compose_all already drew.
+        k = int(self.gen_of[uid])
+        mask = packed_to_masks(self._coded_send[k][uid : uid + 1])[0]
+        return Generation(
+            k=k,
+            payload_bits=self.block_payload_bits,
+            field_order=self.config.field_order,
+            generation_id=iteration + 1,
+        ).message_from_mask(uid, mask)
 
     # ------------------------------------------------------------------
     def deliver_all(self, round_index, indices, indptr, active, counts):

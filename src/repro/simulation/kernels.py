@@ -68,6 +68,7 @@ from ..algorithms.token_forwarding import (
     tokens_per_message,
 )
 from ..network.adversary import Adversary, NodeStateView
+from ..network.faults import StateView
 from ..network.topology import TopologyValidationCache, _iter_bits
 from ..obs.profiler import NULL_PROFILER
 from ..tokens.message import MessageSizeExceeded, TokenForwardMessage
@@ -267,6 +268,12 @@ class RoundKernel(abc.ABC):
     #: Whether :meth:`wire_message` can materialise this round's per-node
     #: message objects (keeps omniscient adversaries kernel-eligible).
     supports_message_views = False
+    #: Whether the kernel can hand a per-round
+    #: :class:`~repro.network.faults.StateView` (knowledge counts + coded
+    #: ranks) to state-aware fault strategies.  The base class already
+    #: exposes both columns, so every kernel supports this by default; a
+    #: kernel whose counts/ranks are not faithful mid-round must opt out.
+    supports_state_views = True
 
     def __init__(
         self,
@@ -490,10 +497,16 @@ def run_kernel_rounds(
 
     for round_index in range(max_rounds):
         plan = faults.begin_round(round_index) if faults is not None else None
-        states = kernel.state_views()
         if adversary.sees_messages:
             # Omniscient order, as the object engines run it: compose first,
             # then show the adversary the (lazily materialised) messages.
+            # The state views must be materialised *before* composing: the
+            # object engines capture rank/count by value at snapshot time,
+            # and coded kernels mutate their group state (flood ->
+            # broadcast transition) inside ``compose_all`` — a lazy view
+            # read after compose would leak that transition into the
+            # adversary's split.
+            states = [kernel.state_view(uid) for uid in range(n)]
             with profiler.span("compose"):
                 active, sizes = kernel.compose_all(round_index)
             if plan is not None and plan.substitute:
@@ -502,6 +515,9 @@ def run_kernel_rounds(
             graph = adversary.choose_topology(round_index, n, states, messages)
             topology = cache.validated(graph, n)
         else:
+            # Oblivious/adaptive order: the adversary reads state before
+            # compose, so the lazy sequence costs zero for oblivious ones.
+            states = kernel.state_views()
             graph = adversary.choose_topology(round_index, n, states)
             topology = cache.validated(graph, n)
             with profiler.span("compose"):
@@ -515,9 +531,17 @@ def run_kernel_rounds(
         if plan is not None:
             # The adaptive strategy is consulted in here and may crash
             # nodes mid-round: ``plan.down`` is final only afterwards, so
-            # the sending mask must be computed below, not before.
+            # the sending mask must be computed below, not before.  The
+            # compose-time ``active`` mask feeds the collision rule, and a
+            # wants_state strategy sees the same post-compose count/rank
+            # snapshot the object engines extract.
+            state = None
+            if faults.wants_state:
+                state = StateView(kernel.known_counts(), kernel.coded_ranks())
             with profiler.span("faults"):
-                indices, indptr = plan.bind_edges(indices, indptr)
+                indices, indptr = plan.bind_edges(
+                    indices, indptr, active=active, state=state
+                )
 
         sending = active if plan is None else active & ~plan.down
         broadcasts = int(sending.sum())
@@ -542,6 +566,7 @@ def run_kernel_rounds(
             metrics.dropped_deliveries += stats.dropped
             metrics.duplicated_deliveries += stats.duplicated
             metrics.corrupted_deliveries += stats.corrupted
+            metrics.collided_deliveries += stats.collided
             discarded = stats.discarded
         if indices.size:
             # cumsum differences instead of reduceat: identical integers,

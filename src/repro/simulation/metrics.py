@@ -41,8 +41,13 @@ class RunMetrics:
         Delivered copies whose content a Byzantine sender substituted
         (counted whether the receiver's span guard discarded them or
         accepted an in-span replay).
+    collided_deliveries:
+        Copies erased by radio-collision rounds: the receiver heard two or
+        more simultaneous senders and the radio rule silenced these
+        deliveries on the air.
     survivors:
-        Number of nodes never scheduled to crash; ``None`` on benign runs.
+        Number of honest nodes never scheduled to crash (fake quorum
+        members excluded); ``None`` on benign runs.
     completed_survivors:
         How many survivors knew every token when the run ended; ``None``
         on benign runs.
@@ -58,6 +63,10 @@ class RunMetrics:
         completion round — how long the population needed to re-absorb the
         stale-state node; ``None`` when nothing recovered or the survivors
         never completed.
+    fake_nodes:
+        Number of fake quorum members a :class:`~repro.network.faults.QuorumModel`
+        declared (they are excluded from every survivor figure above);
+        ``None`` when no quorum model was active.
     progress:
         Optional per-round record of the minimum / mean number of known
         tokens across nodes (populated when progress tracking is enabled).
@@ -74,11 +83,13 @@ class RunMetrics:
     dropped_deliveries: int = 0
     duplicated_deliveries: int = 0
     corrupted_deliveries: int = 0
+    collided_deliveries: int = 0
     survivors: int | None = None
     completed_survivors: int | None = None
     survivor_completion_round: int | None = None
     recoveries: int | None = None
     reconvergence_rounds: int | None = None
+    fake_nodes: int | None = None
     progress: list[tuple[int, int, float]] = field(default_factory=list)
 
     @property
@@ -163,8 +174,11 @@ class RunMetrics:
                     "dropped": data["dropped_deliveries"],
                     "duplicated": data["duplicated_deliveries"],
                     "corrupted": data["corrupted_deliveries"],
+                    "collided": data["collided_deliveries"],
                     "recoveries": data["recoveries"],
                     "reconvergence_rounds": data["reconvergence_rounds"],
                 }
             )
+        if data["fake_nodes"] is not None:
+            summary["fake_nodes"] = data["fake_nodes"]
         return summary

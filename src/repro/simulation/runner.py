@@ -57,7 +57,7 @@ import numpy as np
 
 from ..algorithms.base import ProtocolConfig, ProtocolFactory, ProtocolNode
 from ..network.adversary import Adversary
-from ..network.faults import BoundFaults, FaultModel, SpanGuard
+from ..network.faults import BoundFaults, FaultModel, SpanGuard, StateView
 from ..network.graphs import validate_topology
 from ..network.topology import Topology, TopologyValidationCache
 from ..obs.profiler import NULL_PROFILER
@@ -247,13 +247,17 @@ def run_dissemination(
         axis orthogonal to ``adversary``: per-edge loss/duplication,
         crash–recovery intervals and permanent crashes, scheduled
         partitions, adaptive :class:`~repro.network.faults.FaultStrategy`
-        adversaries, Byzantine coded senders.  Fault randomness comes from
-        one ``rng.spawn``-ed stream drawn after node construction, so a
-        benign model leaves the run bit-identical to ``faults=None``.
-        Under faults the stop rule, the reported correctness and the
-        survivor metrics are computed over the never-permanently-crashed
-        population (recovering nodes included), queried per round because
-        adaptive strategies may claim victims mid-run.
+        adversaries (including protocol-state-aware ``wants_state``
+        strategies), Byzantine coded senders, radio-collision rounds and
+        fake quorum membership.  Fault randomness comes from one
+        ``rng.spawn``-ed stream drawn after node construction, so a benign
+        model leaves the run bit-identical to ``faults=None``.  Under
+        faults the stop rule, the reported correctness and the survivor
+        metrics are computed over the never-permanently-crashed honest
+        population (recovering nodes included, fake quorum members
+        excluded), queried per round because adaptive strategies may claim
+        victims mid-run.  A :class:`~repro.network.faults.QuorumModel`
+        additionally requires its fake nodes to hold no placement tokens.
     trace:
         Optional :class:`~repro.obs.trace.TraceRecorder` collecting one
         columnar record per executed round (per-node knowledge counts and
@@ -282,6 +286,16 @@ def run_dissemination(
         bound = faults.bind(config.n, rng.spawn(1)[0])
         if bound.wants_guard:
             bound.attach_guard(_coded_span_guard(nodes))
+        if faults.quorum is not None:
+            # Fake quorum members never originate honest tokens: a
+            # placement seeding one would let a non-member hold knowledge
+            # the honest quorum is then measured against.
+            for uid in faults.quorum.fake:
+                if placement.tokens_at(uid):
+                    raise ValueError(
+                        f"fake quorum node {uid} holds placement tokens; "
+                        "fake members must never originate honest tokens"
+                    )
 
     if max_rounds is None:
         max_rounds = 20 * config.n * max(1, config.k) + 200
@@ -302,6 +316,7 @@ def run_dissemination(
     # support this configuration, and the adversary must not demand to see
     # per-node message objects the kernel engine never builds.
     kernel_cls = kernels.kernel_for(factory, config)
+    wants_state = bound is not None and bound.wants_state
     if engine == "kernel":
         if kernel_cls is None:
             raise ValueError(
@@ -315,6 +330,12 @@ def run_dissemination(
                 "views, so omniscient (sees_messages) adversaries are not "
                 "supported; use engine='mask'"
             )
+        if wants_state and not kernel_cls.supports_state_views:
+            raise ValueError(
+                f"{kernel_cls.__name__} does not expose per-round state "
+                "views, so state-aware (wants_state) fault strategies are "
+                "not supported; use engine='mask'"
+            )
         if not mask_ready:
             raise ValueError(
                 "engine='kernel' requires every node to support knowledge-mask "
@@ -325,6 +346,7 @@ def run_dissemination(
         and kernel_cls is not None
         and mask_ready
         and (not adversary.sees_messages or kernel_cls.supports_message_views)
+        and (not wants_state or kernel_cls.supports_state_views)
     )
     kernel = None
     if use_kernel:
@@ -368,6 +390,8 @@ def run_dissemination(
                     metrics.rounds_executed, metrics.survivor_completion_round
                 )
             )
+            if bound.model.quorum is not None:
+                metrics.fake_nodes = len(bound.model.quorum.fake)
         with profiler.span("materialise"):
             kernel.to_nodes(nodes)
         if bound is None:
@@ -467,18 +491,49 @@ def run_dissemination(
 
         eff_indices: np.ndarray | None = None
         eff_indptr: np.ndarray | None = None
+        active: np.ndarray | None = None
         if plan is not None:
             if use_mask:
                 base_indices, base_indptr = topology.csr_adjacency()
             else:
                 base_indices, base_indptr = _nx_csr(nx_view, config.n)
+            # Compose already ran, so the transmission mask exists before
+            # the faults are drawn — collisions need to know who occupies
+            # the air, and a wants_state strategy sees the same
+            # post-compose snapshot the trace layer extracts.
+            active = np.fromiter(
+                (message is not None for message in outgoing),
+                dtype=bool,
+                count=config.n,
+            )
+            state = None
+            if bound.wants_state:
+                state = StateView(
+                    np.fromiter(
+                        (
+                            (
+                                len(node.known)
+                                if use_mask
+                                else len(node.known_token_ids())
+                            )
+                            for node in nodes
+                        ),
+                        dtype=np.int64,
+                        count=config.n,
+                    ),
+                    np.fromiter(
+                        (node.coded_rank() for node in nodes),
+                        dtype=np.int64,
+                        count=config.n,
+                    ),
+                )
             # The adaptive strategy is consulted in here and may crash
             # nodes mid-round: ``plan.down`` is final only afterwards, so
             # the accounting below must wait for this call — the same
             # ordering the kernel engine uses.
             with profiler.span("faults"):
                 eff_indices, eff_indptr = plan.bind_edges(
-                    base_indices, base_indptr
+                    base_indices, base_indptr, active=active, state=state
                 )
 
         # Budget enforcement and broadcast accounting.  A crashed node's
@@ -501,16 +556,12 @@ def run_dissemination(
             # Faulted delivery runs over the plan's effective CSR — shared
             # verbatim with the kernel engine, which is what keeps faulted
             # metrics byte-identical across all three engines.
-            sending = np.fromiter(
-                (message is not None for message in outgoing),
-                dtype=bool,
-                count=config.n,
-            )
-            sending &= ~plan.down
+            sending = active & ~plan.down
             stats = plan.account(sending)
             metrics.dropped_deliveries += stats.dropped
             metrics.duplicated_deliveries += stats.duplicated
             metrics.corrupted_deliveries += stats.corrupted
+            metrics.collided_deliveries += stats.collided
             metrics.deliveries += stats.discarded
             with profiler.span("deliver"):
                 for uid, node in enumerate(nodes):
@@ -675,6 +726,8 @@ def run_dissemination(
         metrics.recoveries, metrics.reconvergence_rounds = bound.recovery_metrics(
             metrics.rounds_executed, metrics.survivor_completion_round
         )
+        if bound.model.quorum is not None:
+            metrics.fake_nodes = len(bound.model.quorum.fake)
         if metrics.survivor_completion_round is not None:
             correct = _check_correctness(
                 [nodes[u] for u in survivor_uids], placement

@@ -300,14 +300,13 @@ class TestHostileCatalogParity:
         kernel = _assert_identical(results)
         metrics = kernel.metrics
         assert metrics.survivors is not None
-        # Survivors = never *permanently* crashed; a (uid, down, up) recovery
-        # interval leaves the node in the surviving population.
-        permanent = {
-            entry[0]
-            for entry in fault_model_for(name, n, seed=5).crashes
-            if len(entry) == 2
-        }
-        assert metrics.survivors == n - len(permanent)
+        # Survivors = honest nodes never *permanently* crashed; a
+        # (uid, down, up) recovery interval leaves the node in the surviving
+        # population, fake quorum members never enter it.
+        model = fault_model_for(name, n, seed=5)
+        permanent = {entry[0] for entry in model.crashes if len(entry) == 2}
+        fake = set(model.quorum.fake) if model.quorum is not None else set()
+        assert metrics.survivors == n - len(permanent | fake)
         assert metrics.surviving_completion_rate is not None
         assert "survivors" in metrics.summary()
 

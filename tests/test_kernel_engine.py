@@ -228,10 +228,13 @@ class TestEngineSelection:
         with pytest.raises(ValueError, match="RoundKernel"):
             _run(PriorityForwardNode, config, BottleneckAdversary(), engine="kernel")
 
-    def test_kernel_engine_rejects_omniscient_without_message_views(self):
-        # NaiveCodedKernel has no wire_message hook, so omniscient adversaries
-        # still force it off the kernel engine.
-        assert NaiveCodedKernel.supports_message_views is False
+    def test_kernel_engine_rejects_omniscient_without_message_views(
+        self, monkeypatch
+    ):
+        # Every in-repo kernel now ships wire_message; exercise the gate by
+        # withdrawing the opt-in, as a third-party kernel without the hook
+        # would present itself.
+        monkeypatch.setattr(NaiveCodedKernel, "supports_message_views", False)
         config = make_config(8)
         with pytest.raises(ValueError, match="sees_messages"):
             _run(
@@ -240,20 +243,30 @@ class TestEngineSelection:
                 OmniscientBottleneckAdversary(),
                 engine="kernel",
             )
-
-    def test_auto_with_omniscient_adversary_uses_message_views(self):
-        # Kernels with wire_message stay kernel-eligible under omniscient
-        # adversaries; kernels without it fall back to mask.
-        assert TokenForwardingKernel.supports_message_views is True
-        config = make_config(8)
-        result = _run(
-            TokenForwardingNode, config, OmniscientBottleneckAdversary(), engine="auto"
-        )
-        assert result.engine == "kernel"
         fallback = _run(
             NaiveCodedNode, config, OmniscientBottleneckAdversary(), engine="auto"
         )
         assert fallback.engine == "mask"
+
+    def test_auto_with_omniscient_adversary_uses_message_views(self):
+        # Kernels with wire_message stay kernel-eligible under omniscient
+        # adversaries — including the coded kernels, which rebuild their
+        # flood/broadcast wire messages on demand.
+        assert TokenForwardingKernel.supports_message_views is True
+        assert NaiveCodedKernel.supports_message_views is True
+        assert GreedyForwardKernel.supports_message_views is True
+        config = make_config(8)
+        for factory in (TokenForwardingNode, NaiveCodedNode, GreedyForwardNode):
+            result = _run(
+                factory, config, OmniscientBottleneckAdversary(), engine="auto"
+            )
+            assert result.engine == "kernel"
+            mask = _run(
+                factory, config, OmniscientBottleneckAdversary(), engine="mask"
+            )
+            assert dataclasses.asdict(result.metrics) == dataclasses.asdict(
+                mask.metrics
+            )
 
     def test_unknown_engine_rejected(self):
         config = make_config(8)

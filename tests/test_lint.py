@@ -114,6 +114,28 @@ def test_rep102_fires_inside_adaptive_fault_strategies():
     assert waived in rule_lines(suppressed, "REP102")
 
 
+def test_rep102_fires_inside_state_aware_fault_strategies():
+    """A state-aware plan_round drawing outside the bound rng trips CI.
+
+    The read-only StateView is for targeting only; randomness must still
+    flow from the ``rng`` argument even when the draw is keyed off live
+    protocol state.
+    """
+    active, suppressed = lint_fixture("state_strategy_bad.py")
+    lines = rule_lines(active, "REP102")
+    assert line_of("state_strategy_bad.py", "np.random.default_rng()") in lines
+    assert line_of("state_strategy_bad.py", "np.random.random()") in lines
+    # the honest strategy reads state but draws only from the bound rng
+    assert line_of("state_strategy_bad.py", "if rng.random() < 0.5:") not in lines
+    assert (
+        line_of("state_strategy_bad.py", "rng.integers(0, frontier + 1, size=1)")
+        not in lines
+    )
+    waived = line_of("state_strategy_bad.py", "np.random.default_rng()", occurrence=1)
+    assert waived not in lines
+    assert waived in rule_lines(suppressed, "REP102")
+
+
 def test_rep103_fires_in_src_not_bench():
     active, _ = lint_fixture("determinism_bad.py")
     lines = rule_lines(active, "REP103")
